@@ -1,0 +1,88 @@
+// Ablation (Section IV-B2): two-phase DMAC vs the redesigned pipelined DMAC.
+//
+// "In the current DMAC ... in order to send the data in a local node to a
+//  remote node, two phase operations are required. ... However, since this
+//  procedure seriously impacts the performance, we are developing a new
+//  DMAC, which operates both the read request from the memory on the local
+//  node and the write request to the memory on the remote node
+//  simultaneously in a pipeline manner."
+//
+// This bench quantifies exactly that design choice: host(A) -> host(B)
+// transfers staged through internal memory (read chain + write chain) vs a
+// single pipelined descriptor.
+#include "bench/bench_util.h"
+
+using namespace tca;
+using bench::DmaRig;
+using peach2::DmaDescriptor;
+using peach2::DmaDirection;
+
+namespace {
+
+TimePs run_two_phase(DmaRig& rig, std::uint32_t size) {
+  driver::Peach2Driver& drv = rig.cluster.driver(0);
+  const TimePs t0 = rig.sched.now();
+  // Phase 1: host -> internal RAM (DMA read).
+  rig.run(0, {DmaDescriptor{.src = drv.host_buffer_global(0),
+                            .dst = drv.internal_global(0),
+                            .length = size,
+                            .direction = DmaDirection::kRead}});
+  // Phase 2: internal RAM -> remote host (DMA write).
+  rig.run(0, {DmaDescriptor{.src = drv.internal_global(0),
+                            .dst = rig.cluster.global_host(1, 0),
+                            .length = size,
+                            .direction = DmaDirection::kWrite}});
+  return rig.sched.now() - t0;
+}
+
+TimePs run_pipelined(DmaRig& rig, std::uint32_t size) {
+  driver::Peach2Driver& drv = rig.cluster.driver(0);
+  const TimePs t0 = rig.sched.now();
+  rig.run(0, {DmaDescriptor{.src = drv.host_buffer_global(0),
+                            .dst = rig.cluster.global_host(1, 0),
+                            .length = size,
+                            .direction = DmaDirection::kPipelined}});
+  return rig.sched.now() - t0;
+}
+
+}  // namespace
+
+int main() {
+  bench::ShapeCheck check;
+  DmaRig rig;
+
+  const std::vector<std::uint32_t> sizes = {4096,      16 << 10, 64 << 10,
+                                            256 << 10, 1 << 20};
+  TablePrinter table({"Size", "Two-phase", "Pipelined", "Speedup",
+                      "Two-phase GB/s", "Pipelined GB/s"});
+  double speedup_64k = 0, speedup_1m = 0;
+
+  for (std::uint32_t size : sizes) {
+    const TimePs two = run_two_phase(rig, size);
+    const TimePs pipe = run_pipelined(rig, size);
+    const double speedup = static_cast<double>(two) /
+                           static_cast<double>(pipe);
+    table.add_row({units::format_size(size), units::format_time(two),
+                   units::format_time(pipe),
+                   TablePrinter::cell(speedup, 2) + "x",
+                   bench::fmt_gbps(units::gbytes_per_second(size, two)),
+                   bench::fmt_gbps(units::gbytes_per_second(size, pipe))});
+    if (size == (64 << 10)) speedup_64k = speedup;
+    if (size == (1 << 20)) speedup_1m = speedup;
+  }
+
+  print_section(
+      "Ablation: two-phase DMAC vs pipelined DMAC (node A host -> node B "
+      "host)");
+  table.print();
+  std::printf("\nThe pipelined engine needs one descriptor (one doorbell + "
+              "one interrupt)\nand overlaps local reads with remote writes; "
+              "the two-phase engine staged\neverything through the internal "
+              "packet RAM.\n");
+
+  check.expect(speedup_64k > 1.4,
+               "pipelined DMAC >1.4x over two-phase at 64 KiB");
+  check.expect(speedup_1m > 1.6,
+               "pipelined DMAC approaches 2x at 1 MiB (full overlap)");
+  return check.finish();
+}

@@ -1,0 +1,81 @@
+// Figure 8 reproduction: single-descriptor DMA bandwidth vs data size.
+//
+// Paper observations reproduced:
+//   * A single request is severely degraded versus 255 chained requests —
+//     "retrieving the descriptor table is the dominant factor".
+//   * Equal total bytes give equal bandwidth: a single 8 KiB request
+//     performs like two chained 4 KiB requests (the Figure 9 cross-check).
+#include "bench/bench_util.h"
+
+using namespace tca;
+using bench::DmaRig;
+using peach2::DmaDirection;
+
+int main() {
+  bench::ShapeCheck check;
+  DmaRig rig;
+  driver::Peach2Driver& drv = rig.cluster.driver(0);
+
+  const std::vector<std::uint32_t> sizes = {
+      64,        256,       1024,      4096,      16 << 10,
+      64 << 10,  256 << 10, 1 << 20};
+
+  TablePrinter table({"Size", "CPU write", "CPU read", "GPU write",
+                      "GPU read", "(Gbytes/s)"});
+  double cpu_w_4k_single = 0;
+  double cpu_w_8k_single = 0;
+
+  for (std::uint32_t size : sizes) {
+    const double cpu_w = rig.gbps(
+        size, rig.run(0, rig.make_chain(1, size, DmaDirection::kWrite,
+                                        drv.internal_global(0),
+                                        drv.host_buffer_global(0),
+                                        /*window=*/2 << 20)));
+    const double cpu_r = rig.gbps(
+        size, rig.run(0, rig.make_chain(1, size, DmaDirection::kRead,
+                                        drv.host_buffer_global(0),
+                                        drv.internal_global(0),
+                                        /*window=*/2 << 20)));
+    const double gpu_w = rig.gbps(
+        size, rig.run(0, rig.make_chain(1, size, DmaDirection::kWrite,
+                                        drv.internal_global(0),
+                                        drv.gpu_global(0, 0),
+                                        /*window=*/2 << 20)));
+    const double gpu_r = rig.gbps(
+        size, rig.run(0, rig.make_chain(1, size, DmaDirection::kRead,
+                                        drv.gpu_global(0, 0),
+                                        drv.internal_global(0),
+                                        /*window=*/2 << 20)));
+    table.add_row({units::format_size(size), bench::fmt_gbps(cpu_w),
+                   bench::fmt_gbps(cpu_r), bench::fmt_gbps(gpu_w),
+                   bench::fmt_gbps(gpu_r), ""});
+    if (size == 4096) cpu_w_4k_single = cpu_w;
+    if (size == 8192) cpu_w_8k_single = cpu_w;
+  }
+  // 8 KiB is not in the sweep above; measure it for the cross-check.
+  cpu_w_8k_single = rig.gbps(
+      8192, rig.run(0, rig.make_chain(1, 8192, DmaDirection::kWrite,
+                                      drv.internal_global(0),
+                                      drv.host_buffer_global(0),
+                                      /*window=*/2 << 20)));
+  const double cpu_w_2x4k = rig.gbps(
+      2 * 4096, rig.run(0, rig.make_chain(2, 4096, DmaDirection::kWrite,
+                                          drv.internal_global(0),
+                                          drv.host_buffer_global(0))));
+  const double cpu_w_255x4k = rig.gbps(
+      255ull * 4096,
+      rig.run(0, rig.make_chain(255, 4096, DmaDirection::kWrite,
+                                drv.internal_global(0),
+                                drv.host_buffer_global(0))));
+
+  print_section("Figure 8: size vs bandwidth, single DMA request");
+  table.print();
+  std::printf("\nCross-check: 1 x 8 KiB = %.3f GB/s vs 2 x 4 KiB chained = "
+              "%.3f GB/s\n", cpu_w_8k_single, cpu_w_2x4k);
+
+  check.expect_ratio(cpu_w_4k_single, cpu_w_255x4k, 0.2, 0.5,
+                     "single 4 KiB request severely degraded vs 255 chained");
+  check.expect_ratio(cpu_w_8k_single, cpu_w_2x4k, 0.9, 1.1,
+                     "equal total bytes -> equal bandwidth (1x8K ~ 2x4K)");
+  return check.finish();
+}

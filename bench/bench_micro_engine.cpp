@@ -1,0 +1,118 @@
+// Simulator-core microbenchmarks (google-benchmark): event throughput of
+// the scheduler, coroutine wake cost, link TLP throughput, address decode,
+// and RNG fill. These gate the *simulator's* performance, not the modeled
+// hardware — a slow engine would make the figure sweeps impractical.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "peach2/tca_layout.h"
+#include "pcie/link.h"
+#include "sim/scheduler.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace {
+
+using namespace tca;
+
+void BM_SchedulerEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      sched.schedule_at(i, [] {});
+    }
+    sched.run();
+    benchmark::DoNotOptimize(sched.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchedulerEventThroughput)->Arg(1000)->Arg(100000);
+
+void BM_CoroutinePingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    sim::Trigger ping(sched), pong(sched);
+    const int rounds = static_cast<int>(state.range(0));
+    sim::spawn([](sim::Trigger& in, sim::Trigger& out, int n) -> sim::Task<> {
+      for (int i = 0; i < n; ++i) {
+        co_await in.wait();
+        in.reset();
+        out.fire();
+      }
+    }(ping, pong, rounds));
+    sim::spawn([](sim::Trigger& out, sim::Trigger& in, int n) -> sim::Task<> {
+      for (int i = 0; i < n; ++i) {
+        out.fire();
+        co_await in.wait();
+        in.reset();
+      }
+    }(ping, pong, rounds));
+    sched.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_CoroutinePingPong)->Arg(10000);
+
+void BM_LinkTlpThroughput(benchmark::State& state) {
+  struct Sink : pcie::TlpSink {
+    void on_tlp(pcie::Tlp tlp, pcie::LinkPort& port) override {
+      port.release_rx(tlp.wire_bytes());
+    }
+  };
+  std::vector<std::byte> payload(256, std::byte{0x5A});
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    pcie::PcieLink link(sched, {.gen = 2, .lanes = 8});
+    Sink sink;
+    link.end_b().set_sink(&sink);
+    const int n = static_cast<int>(state.range(0));
+    int sent = 0;
+    std::function<void()> pump = [&] {
+      while (sent < n) {
+        pcie::Tlp tlp = pcie::Tlp::mem_write(
+            static_cast<std::uint64_t>(sent) * 256, payload);
+        if (!link.end_a().can_send(tlp)) return;
+        link.end_a().send(std::move(tlp));
+        ++sent;
+      }
+    };
+    link.end_a().set_tx_ready(pump);
+    pump();
+    sched.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LinkTlpThroughput)->Arg(10000);
+
+void BM_TcaLayoutDecode(benchmark::State& state) {
+  auto layout = peach2::TcaLayout::create(0x80'0000'0000ull, 512ull << 30,
+                                          16).value();
+  Rng rng(7);
+  std::vector<std::uint64_t> addrs(1024);
+  for (auto& a : addrs) {
+    a = 0x80'0000'0000ull + rng.next_below(512ull << 30);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto loc = layout.decode(addrs[i++ & 1023]);
+    benchmark::DoNotOptimize(loc);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TcaLayoutDecode);
+
+void BM_RngFill(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<std::byte> buf(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    rng.fill(buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RngFill)->Arg(4096)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Table I reproduction: specifications of the HA-PACS base cluster.
+//
+// A spec table cannot be "measured", but its arithmetic can be verified:
+// CPU peak = 2.6 GHz x 8 flops x 8 cores x 2 sockets = 332.8 GFlops,
+// GPU peak = 4 x 665 = 2660 GFlops, total = 268 x (332.8 + 2660) = 802
+// TFlops, PCIe lane budget 2 x 40 = 4 x16 GPUs + 2 x8 extras — and the
+// simulator's node model is checked to match (4 GPUs, Gen2/Gen3 widths,
+// dual-rail IB).
+#include "bench/bench_util.h"
+#include "fabric/hapacs_specs.h"
+
+using namespace tca;
+using fabric::specs::BaseCluster;
+
+int main() {
+  bench::ShapeCheck check;
+  const BaseCluster spec;
+
+  TablePrinter table({"Item", "Specification"});
+  table.add_row({"CPU", spec.cpu});
+  table.add_row({"  cache", spec.cpu_cache});
+  table.add_row({"Memory", spec.host_memory});
+  table.add_row({"Peak performance (CPU)",
+                 TablePrinter::cell(spec.cpu_peak_gflops, 1) + " GFlops"});
+  table.add_row({"GPU", spec.gpu});
+  table.add_row({"  memory", spec.gpu_memory});
+  table.add_row({"Peak performance (GPU)",
+                 TablePrinter::cell(spec.gpu_peak_gflops, 0) + " GFlops"});
+  table.add_row({"InfiniBand", spec.interconnect_nic});
+  table.add_row({"Number of nodes",
+                 TablePrinter::cell(std::uint64_t(spec.node_count))});
+  table.add_row({"Storage", spec.storage});
+  table.add_row({"Interconnect", spec.interconnect});
+  table.add_row({"Total peak performance",
+                 TablePrinter::cell(spec.total_peak_tflops, 0) + " TFlops"});
+  table.add_row({"Number of racks",
+                 TablePrinter::cell(std::uint64_t(spec.racks))});
+  table.add_row({"Maximum power consumption",
+                 TablePrinter::cell(std::uint64_t(spec.max_power_kw)) +
+                     " kW"});
+
+  print_section("Table I: specifications of the HA-PACS base cluster");
+  table.print();
+
+  // Arithmetic cross-checks.
+  const double cpu_peak = spec.cpu_ghz * spec.flops_per_cycle *
+                          spec.cores_per_socket * spec.sockets;
+  check.expect_near(cpu_peak, spec.cpu_peak_gflops, 0.01,
+                    "CPU peak = 2.6 GHz x 8 flops x 8 cores x 2 sockets");
+  check.expect_near(spec.gpus_per_node * spec.gpu_peak_gflops_each,
+                    spec.gpu_peak_gflops, 0.01,
+                    "GPU peak = 4 x 665 GFlops (M2090)");
+  const double total_tflops =
+      spec.node_count * (cpu_peak + spec.gpu_peak_gflops) / 1000.0;
+  check.expect_near(total_tflops, spec.total_peak_tflops, 1.0,
+                    "total peak = 268 x (332.8 + 2660) GFlops ~= 802 TFlops");
+  const double gflops_per_watt =
+      spec.node_count * (cpu_peak + spec.gpu_peak_gflops) /
+      (spec.max_power_kw * 1000.0);
+  check.expect(gflops_per_watt > 1.0,
+               "performance/power efficiency above 1 GFlops/W (paper: 1.04 "
+               "on Green500 methodology)");
+  check.expect(spec.gpus_per_node * spec.gpu_lanes + 2 * spec.nic_lanes <=
+                   spec.sockets * spec.pcie_lanes_per_cpu,
+               "PCIe budget: 4 x16 GPUs + 2 x8 extras fit in 2 x 40 lanes");
+
+  // Simulator-model consistency.
+  sim::Scheduler sched;
+  node::ComputeNode model(sched, 0);
+  check.expect(model.gpu_count() == spec.gpus_per_node,
+               "node model carries four GPUs (Fig. 2)");
+  check.expect(model.gpu(0).config().socket == 0 &&
+                   model.gpu(2).config().socket == 1,
+               "node model splits GPUs across sockets (Fig. 2)");
+  return check.finish();
+}

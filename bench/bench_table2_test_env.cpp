@@ -1,0 +1,65 @@
+// Table II reproduction: the preliminary-evaluation test environment,
+// cross-checked against the simulator's configuration (the constants the
+// model actually runs with: PEACH2 clock, logic version register, PCIe
+// generation/widths, GPU read path, window size).
+#include "bench/bench_util.h"
+#include "fabric/hapacs_specs.h"
+#include "peach2/registers.h"
+
+using namespace tca;
+using fabric::specs::TestEnvironment;
+
+int main() {
+  bench::ShapeCheck check;
+  const TestEnvironment spec;
+
+  TablePrinter table({"Item", "Paper (Table II)", "Simulator model"});
+  table.add_row({"CPU", spec.cpu, "CpuAgent + 2x RootComplex, QPI-joined"});
+  table.add_row({"Memory", spec.memory,
+                 "host DRAM model, commit 160 ns / read 350 ns"});
+  table.add_row({"Motherboard", std::string(spec.motherboard_a) + " / " +
+                                    spec.motherboard_b,
+                 "BIOS able to map the 512 GB BAR (footnote 2)"});
+  table.add_row({"GPU", spec.gpu,
+                 "BAR1 pinning; read path capped at 830 MB/s"});
+  table.add_row({"GPU memory", spec.gpu_memory, "functional GDDR backing"});
+  table.add_row({"PEACH2 board", spec.board,
+                 "4 ports Gen2 x8; shallow egress FIFOs"});
+  table.add_row({"FPGA", spec.fpga,
+                 "2 MiB internal RAM + board DRAM models"});
+  table.add_row({"PEACH2 logic", "version 20121112", "kLogicVersion register"});
+  table.add_row({"OS / kernel", spec.kernel, "driver timing model"});
+  table.add_row({"GPU driver / CUDA",
+                 std::string(spec.gpu_driver) + ", " + spec.cuda,
+                 "P2P token + pin flow (Section IV-A2 steps 1-4)"});
+
+  print_section("Table II: test environment for the preliminary evaluation");
+  table.print();
+
+  // The simulator must actually embody the environment it claims.
+  check.expect(peach2::regs::kLogicVersionValue == spec.peach2_logic_version,
+               "logic-version register equals Table II's 20121112");
+  check.expect_near(1e3 / (static_cast<double>(calib::kPeach2ClockHz) / 1e6),
+                    4.0, 0.01,
+                    "250 MHz PEACH2 clock -> 4 ns cycle (Section III-G)");
+  const pcie::LinkConfig gen2x8{.gen = 2, .lanes = 8};
+  check.expect_near(gen2x8.raw_bytes_per_sec() / 1e9, 4.0, 0.01,
+                    "each port: PCIe Gen2 x8 = 4 GB/s raw");
+  check.expect(calib::kMaxPayloadBytes == 256,
+               "MaxPayloadSize 256 B (Section IV-A)");
+  check.expect(calib::kTcaWindowBytes == 512ull << 30,
+               "PEACH2 reserves a 512 GB window (Section III-E)");
+  check.expect(calib::kMaxDescriptors == 255,
+               "chaining DMA: up to 255 descriptors");
+
+  // The register file must report the same identity over MMIO.
+  bench::DmaRig rig;
+  auto id = rig.cluster.driver(0).read_register(peach2::regs::kChipId);
+  auto ver = rig.cluster.driver(0).read_register(peach2::regs::kLogicVersion);
+  rig.sched.run();
+  check.expect(id.result() == peach2::regs::kChipIdValue,
+               "chip-id register readable over MMIO");
+  check.expect(ver.result() == spec.peach2_logic_version,
+               "logic version readable over MMIO");
+  return check.finish();
+}

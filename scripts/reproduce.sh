@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Full reproduction pipeline: build, test, regenerate every table/figure,
+# and run the examples. Outputs land in test_output.txt / bench_output.txt
+# at the repository root.
+set -u
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja || exit 1
+cmake --build build || exit 1
+
+echo "== tests =="
+ctest --test-dir build 2>&1 | tee test_output.txt
+test_status=${PIPESTATUS[0]}
+
+echo "== benches (every paper table & figure + extensions) =="
+: > bench_output.txt
+bench_status=0
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "===== $b" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+  [ "${PIPESTATUS[0]}" -ne 0 ] && bench_status=1
+done
+
+echo "== examples =="
+for e in quickstart halo_exchange pingpong allreduce_ring block_stride \
+         transpose; do
+  echo "----- $e"
+  ./build/examples/$e || bench_status=1
+done
+
+echo
+echo "tests:   $([ "$test_status" -eq 0 ] && echo OK || echo FAIL)"
+echo "benches: $([ "$bench_status" -eq 0 ] && echo OK || echo FAIL)"
+exit $((test_status + bench_status))

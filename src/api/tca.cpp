@@ -1,0 +1,277 @@
+#include "api/tca.h"
+
+#include <cstring>
+
+namespace tca::api {
+
+using peach2::DmaDescriptor;
+using peach2::DmaDirection;
+using peach2::TcaTarget;
+
+Runtime::Runtime(sim::Scheduler& sched, const TcaConfig& config)
+    : sched_(sched),
+      cluster_(sched, fabric::SubClusterConfig{
+                          .node_count = config.node_count,
+                          .topology = config.topology,
+                          .node_config = config.node_config,
+                      }),
+      host_alloc_cursor_(config.node_count, 0) {}
+
+Result<Buffer> Runtime::alloc_host(std::uint32_t node, std::uint64_t bytes) {
+  if (node >= node_count()) {
+    return Status{ErrorCode::kInvalidArgument, "no such node"};
+  }
+  if (bytes == 0) {
+    return Status{ErrorCode::kInvalidArgument, "zero-size buffer"};
+  }
+  auto& cursor = host_alloc_cursor_[node];
+  const std::uint64_t base = (cursor + 255) & ~255ull;
+  const auto& region = cluster_.driver(node).host_layout();
+  if (base + bytes > region.dma_buffer_bytes) {
+    return Status{ErrorCode::kResourceExhausted, "host DMA region exhausted"};
+  }
+  cursor = base + bytes;
+  return Buffer{.node = node,
+                .target = TcaTarget::kHost,
+                .block_offset = region.dma_buffer_offset + base,
+                .size = bytes};
+}
+
+Result<Buffer> Runtime::alloc_gpu(std::uint32_t node, int gpu,
+                                  std::uint64_t bytes) {
+  if (node >= node_count()) {
+    return Status{ErrorCode::kInvalidArgument, "no such node"};
+  }
+  if (gpu != 0 && gpu != 1) {
+    return Status{ErrorCode::kInvalidArgument,
+                  "PEACH2 reaches only GPU0/GPU1 (QPI crossing prohibited)"};
+  }
+  auto ptr = cluster_.node(node).gpu(gpu).mem_alloc(bytes);
+  if (!ptr.is_ok()) return ptr.status();
+  auto pinned = cluster_.driver(node).p2p().pin(gpu, ptr.value(), bytes);
+  if (!pinned.is_ok()) return pinned.status();
+  return Buffer{.node = node,
+                .target = gpu == 0 ? TcaTarget::kGpu0 : TcaTarget::kGpu1,
+                .block_offset = ptr.value(),
+                .size = bytes};
+}
+
+std::uint64_t Runtime::global_addr(const Buffer& buf,
+                                   std::uint64_t offset) const {
+  return cluster_.layout().encode(buf.node, buf.target,
+                                  buf.block_offset + offset);
+}
+
+Status Runtime::validate(const Buffer& buf, std::uint64_t offset,
+                         std::uint64_t bytes) const {
+  if (buf.node >= node_count()) {
+    return {ErrorCode::kInvalidArgument, "buffer on unknown node"};
+  }
+  if (offset + bytes > buf.size) {
+    return {ErrorCode::kOutOfRange, "access outside buffer"};
+  }
+  return Status::ok();
+}
+
+void Runtime::write(const Buffer& buf, std::uint64_t offset,
+                    std::span<const std::byte> data) {
+  TCA_ASSERT(validate(buf, offset, data.size()).is_ok());
+  node::ComputeNode& n = cluster_.node(buf.node);
+  if (buf.is_host()) {
+    n.host_dram().write(buf.block_offset + offset, data);
+  } else {
+    n.gpu(buf.gpu_index()).poke(buf.block_offset + offset, data);
+  }
+}
+
+void Runtime::read(const Buffer& buf, std::uint64_t offset,
+                   std::span<std::byte> out) const {
+  TCA_ASSERT(validate(buf, offset, out.size()).is_ok());
+  // cluster_ accessors are non-const; the runtime object itself is the
+  // logical owner, so a const_cast here is confined and safe.
+  auto& cluster = const_cast<fabric::SubCluster&>(cluster_);
+  node::ComputeNode& n = cluster.node(buf.node);
+  if (buf.is_host()) {
+    n.host_dram().read(buf.block_offset + offset, out);
+  } else {
+    n.gpu(buf.gpu_index()).peek(buf.block_offset + offset, out);
+  }
+}
+
+sim::Task<Status> Runtime::memcpy_peer(Buffer dst, std::uint64_t dst_off,
+                                       Buffer src, std::uint64_t src_off,
+                                       std::uint64_t bytes) {
+  if (Status st = validate(dst, dst_off, bytes); !st.is_ok()) co_return st;
+  if (Status st = validate(src, src_off, bytes); !st.is_ok()) co_return st;
+  if (bytes == 0) co_return Status::ok();
+
+  driver::Peach2Driver& drv = cluster_.driver(src.node);
+
+  // Short host-sourced messages: PIO store through the mmapped window.
+  if (src.is_host() && bytes <= kPioThreshold) {
+    std::vector<std::byte> staged(bytes);
+    read(src, src_off, staged);
+    co_await drv.pio_store(global_addr(dst, dst_off), staged);
+    co_return Status::ok();
+  }
+
+  // Everything else: one pipelined DMA descriptor driven by the source
+  // node's PEACH2 (local source requirement == put-only fabric). Channels
+  // are auto-acquired, so concurrent memcpy_peer calls on one node overlap
+  // across the chip's independent DMA engines.
+  std::vector<DmaDescriptor> chain{
+      DmaDescriptor{.src = global_addr(src, src_off),
+                    .dst = global_addr(dst, dst_off),
+                    .length = static_cast<std::uint32_t>(bytes),
+                    .direction = DmaDirection::kPipelined}};
+  co_return co_await drv.run_chain_checked(std::move(chain));
+}
+
+sim::Task<Status> Runtime::memcpy_peer_batch(std::uint32_t driving_node,
+                                             std::vector<CopyOp> ops) {
+  if (ops.empty()) co_return Status::ok();
+  if (ops.size() > calib::kMaxDescriptors) {
+    co_return Status{ErrorCode::kInvalidArgument,
+                     "batch exceeds descriptor-chain capacity"};
+  }
+  std::vector<DmaDescriptor> chain;
+  chain.reserve(ops.size());
+  for (const CopyOp& op : ops) {
+    if (Status st = validate(op.src, op.src_off, op.bytes); !st.is_ok()) {
+      co_return st;
+    }
+    if (Status st = validate(op.dst, op.dst_off, op.bytes); !st.is_ok()) {
+      co_return st;
+    }
+    if (op.src.node != driving_node) {
+      co_return Status{ErrorCode::kPermissionDenied,
+                       "put-only fabric: batch sources must be local to the "
+                       "driving node"};
+    }
+    chain.push_back(
+        DmaDescriptor{.src = global_addr(op.src, op.src_off),
+                      .dst = global_addr(op.dst, op.dst_off),
+                      .length = static_cast<std::uint32_t>(op.bytes),
+                      .direction = DmaDirection::kPipelined});
+  }
+  co_return co_await cluster_.driver(driving_node).run_chain_checked(
+      std::move(chain));
+}
+
+sim::Task<Status> Runtime::memcpy_block_stride(
+    Buffer dst, std::uint64_t dst_off, std::uint64_t dst_stride, Buffer src,
+    std::uint64_t src_off, std::uint64_t src_stride,
+    std::uint64_t block_bytes, std::uint32_t count) {
+  if (count == 0 || block_bytes == 0) co_return Status::ok();
+  if (count > calib::kMaxDescriptors) {
+    co_return Status{ErrorCode::kInvalidArgument,
+                     "block count exceeds descriptor-chain capacity"};
+  }
+  const std::uint64_t src_extent =
+      src_off + (count - 1) * src_stride + block_bytes;
+  const std::uint64_t dst_extent =
+      dst_off + (count - 1) * dst_stride + block_bytes;
+  if (Status st = validate(src, 0, src_extent); !st.is_ok()) co_return st;
+  if (Status st = validate(dst, 0, dst_extent); !st.is_ok()) co_return st;
+
+  std::vector<DmaDescriptor> chain;
+  chain.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    chain.push_back(
+        DmaDescriptor{.src = global_addr(src, src_off + i * src_stride),
+                      .dst = global_addr(dst, dst_off + i * dst_stride),
+                      .length = static_cast<std::uint32_t>(block_bytes),
+                      .direction = DmaDirection::kPipelined});
+  }
+  co_return co_await cluster_.driver(src.node).run_chain_checked(
+      std::move(chain));
+}
+
+Status Stream::enqueue_copy(Buffer dst, std::uint64_t dst_off, Buffer src,
+                            std::uint64_t src_off, std::uint64_t bytes) {
+  if (Status st = rt_.validate(dst, dst_off, bytes); !st.is_ok()) return st;
+  if (Status st = rt_.validate(src, src_off, bytes); !st.is_ok()) return st;
+  if (bytes == 0) return Status::ok();
+  ops_.push_back(Runtime::CopyOp{.dst = dst,
+                                 .dst_off = dst_off,
+                                 .src = src,
+                                 .src_off = src_off,
+                                 .bytes = bytes});
+  return Status::ok();
+}
+
+sim::Task<Status> Stream::synchronize() {
+  if (ops_.empty()) co_return Status::ok();
+  std::vector<Runtime::CopyOp> ops = std::move(ops_);
+  ops_.clear();
+
+  // Group by source node, preserving enqueue order within each group.
+  std::vector<std::vector<Runtime::CopyOp>> by_node(rt_.node_count());
+  for (Runtime::CopyOp& op : ops) {
+    by_node[op.src.node].push_back(std::move(op));
+  }
+
+  // One batch per source node, all nodes concurrently. A group larger than
+  // the descriptor-chain capacity splits into consecutive batches.
+  struct GroupState {
+    Status status;
+    bool done = false;
+  };
+  std::vector<GroupState> states(rt_.node_count());
+  sim::Trigger all_done(rt_.sched_);
+  std::size_t remaining = 0;
+  for (std::uint32_t n = 0; n < rt_.node_count(); ++n) {
+    if (!by_node[n].empty()) ++remaining;
+  }
+  const std::size_t total_groups = remaining;
+
+  for (std::uint32_t n = 0; n < rt_.node_count(); ++n) {
+    if (by_node[n].empty()) continue;
+    sim::spawn([](Runtime& rt, std::uint32_t node,
+                  std::vector<Runtime::CopyOp> group, GroupState& state,
+                  std::size_t& left, sim::Trigger& done) -> sim::Task<> {
+      Status status = Status::ok();
+      std::size_t i = 0;
+      while (i < group.size() && status.is_ok()) {
+        const std::size_t count = std::min<std::size_t>(
+            group.size() - i, calib::kMaxDescriptors);
+        std::vector<Runtime::CopyOp> batch(
+            group.begin() + static_cast<std::ptrdiff_t>(i),
+            group.begin() + static_cast<std::ptrdiff_t>(i + count));
+        status = co_await rt.memcpy_peer_batch(node, std::move(batch));
+        i += count;
+      }
+      state.status = status;
+      state.done = true;
+      if (--left == 0) done.fire();
+    }(rt_, n, std::move(by_node[n]), states[n], remaining, all_done));
+  }
+  if (total_groups > 0) co_await all_done.wait();
+
+  for (const GroupState& state : states) {
+    if (state.done && !state.status.is_ok()) co_return state.status;
+  }
+  co_return Status::ok();
+}
+
+sim::Task<> Runtime::notify(std::uint32_t from_node, const Buffer& host_flag,
+                            std::uint64_t offset, std::uint32_t value) {
+  TCA_ASSERT(host_flag.is_host());
+  TCA_ASSERT(validate(host_flag, offset, 4).is_ok());
+  co_await cluster_.driver(from_node).pio_store_u32(
+      global_addr(host_flag, offset), value);
+}
+
+sim::Task<> Runtime::wait_flag(const Buffer& host_flag, std::uint64_t offset,
+                               std::uint32_t expected) {
+  TCA_ASSERT(host_flag.is_host());
+  for (;;) {
+    std::uint32_t now_value = 0;
+    read(host_flag, offset,
+         std::as_writable_bytes(std::span(&now_value, 1)));
+    if (now_value == expected) co_return;
+    co_await sim::Delay(sched_, calib::kCpuPollIterationPs);
+  }
+}
+
+}  // namespace tca::api

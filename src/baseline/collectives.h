@@ -1,0 +1,37 @@
+// MPI-style collectives over MpiLite: dissemination barrier and ring
+// allreduce. Used as the conventional-stack comparison for the TCA
+// collective examples (allreduce_ring) and by the halo-exchange workload.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "baseline/mpi_lite.h"
+
+namespace tca::baseline {
+
+class Collectives {
+ public:
+  Collectives(MpiLite& mpi, std::uint32_t ranks)
+      : mpi_(mpi), ranks_(ranks), barrier_epochs_(ranks, 0) {}
+
+  [[nodiscard]] std::uint32_t ranks() const { return ranks_; }
+
+  /// Dissemination barrier: ceil(log2(n)) rounds of pairwise messages.
+  sim::Task<> barrier(std::uint32_t rank);
+
+  /// Ring allreduce (sum) of doubles, in place. Classic two-phase
+  /// reduce-scatter + allgather; every rank ends with the identical global
+  /// sum. `data.size()` must be divisible by the rank count.
+  sim::Task<> allreduce_sum(std::uint32_t rank, std::span<double> data);
+
+ private:
+  MpiLite& mpi_;
+  std::uint32_t ranks_;
+  /// Per-rank barrier entry counters (every rank passes the same barrier
+  /// sequence, so counting locally keeps epochs consistent).
+  std::vector<int> barrier_epochs_;
+};
+
+}  // namespace tca::baseline

@@ -1,0 +1,66 @@
+#include "baseline/conventional.h"
+
+namespace tca::baseline {
+
+sim::Task<> ConventionalGpuComm::send_gpu(std::uint32_t rank, int gpu,
+                                          gpu::DevPtr src,
+                                          std::uint64_t bytes,
+                                          std::uint32_t dst_rank, int tag) {
+  // Step 1: GPU memory -> host staging buffer (cudaMemcpy D2H).
+  std::vector<std::byte> staging(bytes);
+  co_await nodes_[rank]->gpu(gpu).memcpy_d2h(src, staging);
+  // Step 2: host -> host over the interconnect (MPI).
+  co_await mpi_.send(rank, dst_rank, tag, staging);
+}
+
+sim::Task<> ConventionalGpuComm::recv_gpu(std::uint32_t rank, int gpu,
+                                          gpu::DevPtr dst,
+                                          std::uint64_t bytes,
+                                          std::uint32_t src_rank, int tag) {
+  std::vector<std::byte> staging = co_await mpi_.recv(rank, src_rank, tag);
+  TCA_ASSERT(staging.size() == bytes);
+  // Step 3: host staging buffer -> GPU memory (cudaMemcpy H2D).
+  co_await nodes_[rank]->gpu(gpu).memcpy_h2d(staging, dst);
+}
+
+sim::Task<> ConventionalGpuComm::send_gpu_pipelined(
+    std::uint32_t rank, int gpu, gpu::DevPtr src, std::uint64_t bytes,
+    std::uint32_t dst_rank, int tag, std::uint64_t chunk) {
+  TCA_ASSERT(chunk > 0);
+  std::uint64_t off = 0;
+  // `in_flight_buf` must outlive the send that reads it (MPI takes a span).
+  std::vector<std::byte> in_flight_buf;
+  sim::Task<> previous_send = []() -> sim::Task<> { co_return; }();
+  int seq = 0;
+  while (off < bytes) {
+    const std::uint64_t len = std::min(chunk, bytes - off);
+    std::vector<std::byte> staging(len);
+    // D2H of chunk k overlaps the MPI send of chunk k-1.
+    co_await nodes_[rank]->gpu(gpu).memcpy_d2h(src + off, staging);
+    co_await std::move(previous_send);
+    in_flight_buf = std::move(staging);
+    previous_send = mpi_.send(rank, dst_rank, tag * 1000 + seq, in_flight_buf);
+    off += len;
+    ++seq;
+  }
+  co_await std::move(previous_send);
+}
+
+sim::Task<> ConventionalGpuComm::recv_gpu_pipelined(
+    std::uint32_t rank, int gpu, gpu::DevPtr dst, std::uint64_t bytes,
+    std::uint32_t src_rank, int tag, std::uint64_t chunk) {
+  TCA_ASSERT(chunk > 0);
+  std::uint64_t off = 0;
+  int seq = 0;
+  while (off < bytes) {
+    const std::uint64_t len = std::min(chunk, bytes - off);
+    std::vector<std::byte> staging =
+        co_await mpi_.recv(rank, src_rank, tag * 1000 + seq);
+    TCA_ASSERT(staging.size() == len);
+    co_await nodes_[rank]->gpu(gpu).memcpy_h2d(staging, dst + off);
+    off += len;
+    ++seq;
+  }
+}
+
+}  // namespace tca::baseline

@@ -1,0 +1,50 @@
+// The conventional GPU-cluster communication path the paper's introduction
+// motivates against (Section III-A):
+//
+//   1) copy from the memory in GPU-A to the memory in Node-A through PCIe,
+//   2) copy from the memory in Node-A to the memory in Node-B through the
+//      interconnect,
+//   3) copy from the memory in Node-B to the memory in GPU-B through PCIe.
+//
+// Implemented literally: cudaMemcpy D2H -> MPI send/recv over IB ->
+// cudaMemcpy H2D, with an optional chunked-pipelining variant (what tuned
+// MPI+CUDA applications do to partially hide the staging copies).
+#pragma once
+
+#include <cstdint>
+
+#include "baseline/mpi_lite.h"
+#include "gpu/gpu_device.h"
+#include "node/compute_node.h"
+#include "sim/task.h"
+
+namespace tca::baseline {
+
+class ConventionalGpuComm {
+ public:
+  ConventionalGpuComm(MpiLite& mpi, std::vector<node::ComputeNode*> nodes)
+      : mpi_(mpi), nodes_(std::move(nodes)) {}
+
+  /// GPU-to-GPU transfer over nodes via the 3-copy path.
+  sim::Task<> send_gpu(std::uint32_t rank, int gpu, gpu::DevPtr src,
+                       std::uint64_t bytes, std::uint32_t dst_rank, int tag);
+  sim::Task<> recv_gpu(std::uint32_t rank, int gpu, gpu::DevPtr dst,
+                       std::uint64_t bytes, std::uint32_t src_rank, int tag);
+
+  /// Chunked-pipelined variant: overlaps D2H/wire/H2D at `chunk` bytes
+  /// granularity. The tuned baseline for the bandwidth comparison.
+  sim::Task<> send_gpu_pipelined(std::uint32_t rank, int gpu,
+                                 gpu::DevPtr src, std::uint64_t bytes,
+                                 std::uint32_t dst_rank, int tag,
+                                 std::uint64_t chunk = 256 << 10);
+  sim::Task<> recv_gpu_pipelined(std::uint32_t rank, int gpu,
+                                 gpu::DevPtr dst, std::uint64_t bytes,
+                                 std::uint32_t src_rank, int tag,
+                                 std::uint64_t chunk = 256 << 10);
+
+ private:
+  MpiLite& mpi_;
+  std::vector<node::ComputeNode*> nodes_;
+};
+
+}  // namespace tca::baseline

@@ -1,0 +1,83 @@
+// Lightweight error handling for the simulator.
+//
+// Configuration and protocol errors are reported through Status/Result rather
+// than exceptions: the simulator is also used from benchmark harnesses that
+// want to probe invalid configurations without unwinding, and the C++ Core
+// Guidelines (E.2/E.3) reserve exceptions for truly exceptional conditions.
+// Programming errors (broken invariants inside the engine) use TCA_ASSERT,
+// which aborts with a message.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace tca {
+
+/// Error categories used across the library.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kUnaligned,
+  kPermissionDenied,  ///< e.g. remote read on a put-only fabric
+  kUnreachable,       ///< no route to the destination address
+  kResourceExhausted, ///< descriptor slots, tags, buffer space
+  kNotPinned,         ///< GPUDirect access to an unpinned page
+  kBusy,              ///< DMA channel already active
+  kInternal,
+};
+
+const char* to_string(ErrorCode code);
+
+/// A status: either OK or an error code plus a human-readable message.
+class Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return {}; }
+
+  [[nodiscard]] bool is_ok() const { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// Full "CODE: message" rendering for logs and test failures.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// A value or a Status. Minimal expected<>-style type; the simulator does not
+/// need monadic composition, just explicit checking at call sites.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  [[nodiscard]] bool is_ok() const { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] T& value() & { return *value_; }
+  [[nodiscard]] const T& value() const& { return *value_; }
+  [[nodiscard]] T&& value() && { return *std::move(value_); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line);
+
+}  // namespace tca
+
+/// Engine-invariant assertion: active in all build types because simulator
+/// correctness is the product.
+#define TCA_ASSERT(expr) \
+  ((expr) ? static_cast<void>(0) : ::tca::assert_fail(#expr, __FILE__, __LINE__))

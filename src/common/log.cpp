@@ -1,0 +1,30 @@
+#include "common/log.h"
+
+namespace tca {
+
+LogLevel Log::level_ = LogLevel::kWarn;
+TimePs Log::now_ = 0;
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void Log::write(LogLevel level, const char* component,
+                const std::string& message) {
+  if (!enabled(level)) return;
+  std::fprintf(stderr, "[%12s] %-5s %-10s %s\n",
+               units::format_time(now_).c_str(), level_name(level), component,
+               message.c_str());
+}
+
+}  // namespace tca

@@ -1,0 +1,37 @@
+// Minimal leveled logger.
+//
+// The simulator is deterministic and single-threaded per Scheduler, so the
+// logger deliberately avoids locking. Benchmarks run with the logger at
+// kWarn; tests can raise verbosity per-fixture to trace protocol exchanges.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/units.h"
+
+namespace tca {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide log configuration.
+class Log {
+ public:
+  static LogLevel level() { return level_; }
+  static void set_level(LogLevel level) { level_ = level; }
+
+  /// Current simulated time prefix for messages; components set this via
+  /// Scheduler so log lines are attributable to a simulation instant.
+  static void set_now(TimePs now) { now_ = now; }
+
+  static bool enabled(LogLevel level) { return level >= level_; }
+
+  static void write(LogLevel level, const char* component,
+                    const std::string& message);
+
+ private:
+  static LogLevel level_;
+  static TimePs now_;
+};
+
+}  // namespace tca

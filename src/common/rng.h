@@ -1,0 +1,38 @@
+// Deterministic random number generation.
+//
+// Every stochastic element of a simulation (payload contents, workload
+// arrival jitter) draws from an explicitly-seeded Xoshiro256** stream so runs
+// are reproducible bit-for-bit; std::mt19937 is avoided because its state is
+// large and its seeding via seed_seq is easy to get subtly wrong.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace tca {
+
+/// Xoshiro256** PRNG (Blackman & Vigna). Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) without modulo bias (Lemire reduction).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Fill a byte span with pseudo-random data (for payload verification).
+  void fill(std::span<std::byte> out);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace tca

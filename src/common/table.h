@@ -1,0 +1,41 @@
+// Fixed-width table printer used by the benchmark harnesses to reproduce the
+// paper's tables and figure series as aligned text.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace tca {
+
+/// Collects rows of string cells and prints them with aligned columns.
+///
+/// Usage:
+///   TablePrinter t({"Size", "CPU write (GB/s)", "GPU write (GB/s)"});
+///   t.add_row({"4 KiB", "3.30", "3.28"});
+///   t.print();
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table (header, rule, rows) to `out` (default stdout).
+  void print(std::FILE* out = stdout) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// printf-style cell formatting helpers.
+  static std::string cell(double v, int precision = 2);
+  static std::string cell(std::uint64_t v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a "### <title>" section banner; benches use it to label each
+/// reproduced figure/table.
+void print_section(const std::string& title);
+
+}  // namespace tca

@@ -1,0 +1,111 @@
+#include "common/trace.h"
+
+#include <cstdio>
+#include <map>
+
+namespace tca {
+
+Trace& Trace::instance() {
+  static Trace trace;
+  return trace;
+}
+
+void Trace::duration(const std::string& track, const std::string& name,
+                     TimePs begin, TimePs end) {
+  if (!enabled_) return;
+  events_.push_back(Event{Kind::kDuration, track, name, begin, end, 0});
+}
+
+void Trace::instant(const std::string& track, const std::string& name,
+                    TimePs at) {
+  if (!enabled_) return;
+  events_.push_back(Event{Kind::kInstant, track, name, at, at, 0});
+}
+
+void Trace::counter(const std::string& track, const std::string& name,
+                    TimePs at, double value) {
+  if (!enabled_) return;
+  events_.push_back(Event{Kind::kCounter, track, name, at, at, value});
+}
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Trace::to_json() const {
+  // Trace Event Format: ts/dur in microseconds (fractional allowed; we use
+  // nanosecond precision = ps/1000). Tracks become tid values under one pid.
+  std::map<std::string, int> tids;
+  auto tid_of = [&](const std::string& track) {
+    auto [it, inserted] = tids.emplace(track, static_cast<int>(tids.size()) + 1);
+    return it->second;
+  };
+
+  std::string out = "{\"traceEvents\":[\n";
+  char buf[512];
+  for (const Event& e : events_) {
+    const double ts = static_cast<double>(e.begin) / 1e6;
+    switch (e.kind) {
+      case Kind::kDuration: {
+        const double dur = static_cast<double>(e.end - e.begin) / 1e6;
+        std::snprintf(buf, sizeof buf,
+                      "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+                      "\"ts\":%.3f,\"dur\":%.3f},\n",
+                      escape(e.name).c_str(), tid_of(e.track), ts, dur);
+        break;
+      }
+      case Kind::kInstant:
+        std::snprintf(buf, sizeof buf,
+                      "{\"name\":\"%s\",\"ph\":\"i\",\"pid\":1,\"tid\":%d,"
+                      "\"ts\":%.3f,\"s\":\"t\"},\n",
+                      escape(e.name).c_str(), tid_of(e.track), ts);
+        break;
+      case Kind::kCounter:
+        std::snprintf(buf, sizeof buf,
+                      "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":1,\"tid\":%d,"
+                      "\"ts\":%.3f,\"args\":{\"value\":%g}},\n",
+                      escape(e.name).c_str(), tid_of(e.track), ts, e.value);
+        break;
+    }
+    out += buf;
+  }
+  // Thread-name metadata so tracks show component names.
+  for (const auto& [track, tid] : tids) {
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%d,\"args\":{\"name\":\"%s\"}},\n",
+                  tid, escape(track).c_str());
+    out += buf;
+  }
+  if (out.size() >= 2 && out[out.size() - 2] == ',') {
+    out.erase(out.size() - 2, 1);  // trailing comma
+  }
+  out += "]}\n";
+  return out;
+}
+
+Status Trace::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return {ErrorCode::kInvalidArgument, "cannot open trace file " + path};
+  }
+  const std::string json = to_json();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return {ErrorCode::kInternal, "short write to " + path};
+  }
+  return Status::ok();
+}
+
+}  // namespace tca

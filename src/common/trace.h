@@ -1,0 +1,88 @@
+// Event tracing with chrome://tracing (Perfetto-compatible) JSON export.
+//
+// Opt-in and zero-cost when disabled: instrumentation sites check
+// Trace::enabled() before formatting anything. Tracks map to simulator
+// components (one "thread" per chip/engine/link), durations to DMA
+// descriptors / TLP serializations / driver operations, instants to
+// interrupts and notifications. Load the JSON in chrome://tracing or
+// ui.perfetto.dev to see a transfer's anatomy on the simulated timeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace tca {
+
+class Trace {
+ public:
+  /// Process-wide recorder (the simulator is single-threaded).
+  static Trace& instance();
+
+  void enable() { enabled_ = true; }
+  void disable() { enabled_ = false; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// A completed span on `track` from `begin` to `end` (simulated time).
+  void duration(const std::string& track, const std::string& name,
+                TimePs begin, TimePs end);
+
+  /// A point event.
+  void instant(const std::string& track, const std::string& name, TimePs at);
+
+  /// A counter sample (rendered as a track graph).
+  void counter(const std::string& track, const std::string& name, TimePs at,
+               double value);
+
+  [[nodiscard]] std::size_t event_count() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// Serializes the Trace Event Format JSON (returns it; write_json saves).
+  [[nodiscard]] std::string to_json() const;
+  Status write_json(const std::string& path) const;
+
+ private:
+  enum class Kind { kDuration, kInstant, kCounter };
+  struct Event {
+    Kind kind;
+    std::string track;
+    std::string name;
+    TimePs begin;
+    TimePs end;     // durations only
+    double value;   // counters only
+  };
+
+  bool enabled_ = false;
+  std::vector<Event> events_;
+};
+
+/// RAII span helper: records `name` on `track` from construction to
+/// destruction (simulated time read through the global Log clock set by the
+/// Scheduler). No-op when tracing is disabled.
+class TraceSpan {
+ public:
+  TraceSpan(std::string track, std::string name, TimePs begin)
+      : active_(Trace::instance().enabled()),
+        track_(std::move(track)),
+        name_(std::move(name)),
+        begin_(begin) {}
+
+  /// Explicit completion with the end timestamp.
+  void end(TimePs end_time) {
+    if (active_) {
+      Trace::instance().duration(track_, name_, begin_, end_time);
+      active_ = false;
+    }
+  }
+
+ private:
+  bool active_;
+  std::string track_;
+  std::string name_;
+  TimePs begin_;
+};
+
+}  // namespace tca

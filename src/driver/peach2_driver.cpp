@@ -1,0 +1,274 @@
+#include "driver/peach2_driver.h"
+
+#include <cstring>
+
+#include "common/log.h"
+#include "common/trace.h"
+
+namespace tca::driver {
+
+using peach2::DmaDescriptor;
+namespace regs = peach2::regs;
+
+Result<std::uint64_t> P2pDriver::pin(int gpu_index, gpu::DevPtr ptr,
+                                     std::uint64_t len) {
+  if (gpu_index < 0 || gpu_index >= node_.gpu_count()) {
+    return Status{ErrorCode::kInvalidArgument, "no such GPU"};
+  }
+  gpu::GpuDevice& dev = node_.gpu(gpu_index);
+  // Step 2 of Section IV-A2: obtain the P2P token for the allocation.
+  auto token = dev.get_p2p_token(ptr);
+  if (!token.is_ok()) return token.status();
+  // Step 3: the P2P driver pins the pages into the PCIe address space.
+  return dev.pin_pages(token.value(), ptr, len);
+}
+
+Status P2pDriver::unpin(int gpu_index, gpu::DevPtr ptr, std::uint64_t len) {
+  if (gpu_index < 0 || gpu_index >= node_.gpu_count()) {
+    return {ErrorCode::kInvalidArgument, "no such GPU"};
+  }
+  return node_.gpu(gpu_index).unpin_pages(ptr, len);
+}
+
+DriverHostLayout DriverHostLayout::for_dram_size(std::uint64_t dram_bytes) {
+  constexpr std::uint64_t kTableBytes = 1ull << 20;
+  TCA_ASSERT(dram_bytes > 2 * kTableBytes);
+  return DriverHostLayout{
+      .dma_buffer_offset = 0,
+      .dma_buffer_bytes = dram_bytes - kTableBytes,
+      .desc_table_offset = dram_bytes - kTableBytes,
+      .desc_table_bytes = kTableBytes,
+  };
+}
+
+Peach2Driver::Peach2Driver(node::ComputeNode& node, peach2::Peach2Chip& chip,
+                           std::uint64_t reg_base)
+    : node_(node),
+      chip_(chip),
+      reg_base_(reg_base),
+      layout_(DriverHostLayout::for_dram_size(node.host_dram().size())),
+      p2p_(node),
+      channel_sem_(node.cpu().scheduler(), calib::kDmaChannels) {
+  for (int ch = 0; ch < calib::kDmaChannels; ++ch) {
+    dma_done_[static_cast<std::size_t>(ch)] =
+        std::make_unique<sim::Trigger>(node.cpu().scheduler());
+    free_channels_.push_back(calib::kDmaChannels - 1 - ch);  // pop() -> 0..
+  }
+
+  // Interrupt line: the handler's cost (vector dispatch, ISR prologue, TSC
+  // read) is kCompletionInterruptPs; after it the driver observes which
+  // channel completed.
+  chip_.set_interrupt_handler([this](int channel) {
+    node_.cpu().scheduler().schedule_after(
+        calib::kCompletionInterruptPs, [this, channel] {
+          dma_done_[static_cast<std::size_t>(channel)]->fire();
+        });
+  });
+
+  // The hardware DMAC fetches the descriptor table with MRds; the fetch
+  // latency is modeled inside the DMAC, the bytes are the ones write_table
+  // serialized into host DRAM.
+  auto fetcher = [this](std::uint64_t table_addr, std::uint32_t count) {
+    std::vector<DmaDescriptor> chain(count);
+    const std::uint64_t base = table_addr - node::layout::kHostBase;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      chain[i] = DmaDescriptor::deserialize(node_.host_dram().view(
+          base + i * DmaDescriptor::kWireSize, DmaDescriptor::kWireSize));
+    }
+    return chain;
+  };
+  for (int ch = 0; ch < calib::kDmaChannels; ++ch) {
+    chip_.dmac(ch).set_table_fetcher(fetcher);
+  }
+}
+
+std::uint64_t Peach2Driver::table_slice_bytes() const {
+  return layout_.desc_table_bytes / calib::kDmaChannels;
+}
+
+std::uint64_t Peach2Driver::table_offset(int channel) const {
+  return layout_.desc_table_offset +
+         static_cast<std::uint64_t>(channel) * table_slice_bytes();
+}
+
+sim::Task<> Peach2Driver::write_table(
+    std::span<const peach2::DmaDescriptor> chain, int channel) {
+  const auto image = peach2::serialize_table(chain);
+  TCA_ASSERT(image.size() <= table_slice_bytes() - 8);
+  node_.host_dram().write(table_offset(channel), image);
+  const auto copy_ps = static_cast<TimePs>(
+      static_cast<double>(image.size()) / calib::kHostCopyBytesPerSec * 1e12);
+  co_await sim::Delay(node_.cpu().scheduler(), copy_ps);
+}
+
+sim::Task<> Peach2Driver::write_register(std::uint64_t offset,
+                                         std::uint64_t value) {
+  std::array<std::byte, 8> bytes;
+  std::memcpy(bytes.data(), &value, 8);
+  co_await node_.cpu().mmio_store(reg_base_ + offset, bytes);
+}
+
+sim::Task<std::uint64_t> Peach2Driver::read_register(std::uint64_t offset) {
+  auto data = co_await node_.cpu().mmio_load(reg_base_ + offset, 8);
+  std::uint64_t value = 0;
+  std::memcpy(&value, data.data(), 8);
+  co_return value;
+}
+
+sim::Task<TimePs> Peach2Driver::run_chain(
+    std::vector<peach2::DmaDescriptor> chain, int channel) {
+  const auto ch = static_cast<std::size_t>(channel);
+  TCA_ASSERT(!dma_in_flight_[ch] && "channel already has a chain in flight");
+  TCA_ASSERT(!chain.empty());
+  TCA_ASSERT(chain.size() <= calib::kMaxDescriptors);
+  dma_in_flight_[ch] = true;
+
+  co_await write_table(chain, channel);
+  co_await write_register(regs::dma_bank(channel, regs::kDmaBankTableAddr),
+                          node::layout::kHostBase + table_offset(channel));
+  co_await write_register(regs::dma_bank(channel, regs::kDmaBankCount),
+                          chain.size());
+
+  dma_done_[ch]->reset();
+  // "the clock counter is checked just before DMA start" (Section IV-A).
+  const TimePs t0 = node_.cpu().scheduler().now();
+  co_await write_register(regs::dma_bank(channel, regs::kDmaBankDoorbell), 1);
+  co_await dma_done_[ch]->wait();
+  // "... checked again in the interrupt handler generated by the completion
+  // from the DMAC in the PEACH2 driver."
+  const TimePs elapsed = node_.cpu().scheduler().now() - t0;
+
+  co_await write_register(regs::dma_bank(channel, regs::kDmaBankIntAck), 1);
+  dma_in_flight_[ch] = false;
+  if (Trace::instance().enabled()) {
+    Trace::instance().duration(
+        "driver/node" + std::to_string(chip_.node_id()),
+        "run_chain[" + std::to_string(chain.size()) + "]@ch" +
+            std::to_string(channel),
+        t0, t0 + elapsed);
+  }
+  co_return elapsed;
+}
+
+sim::Task<TimePs> Peach2Driver::run_chain_auto(
+    std::vector<peach2::DmaDescriptor> chain) {
+  co_await channel_sem_.acquire();
+  TCA_ASSERT(!free_channels_.empty());
+  const int channel = free_channels_.back();
+  free_channels_.pop_back();
+  const TimePs elapsed = co_await run_chain(std::move(chain), channel);
+  free_channels_.push_back(channel);
+  channel_sem_.release();
+  co_return elapsed;
+}
+
+sim::Task<Status> Peach2Driver::run_chain_checked(
+    std::vector<peach2::DmaDescriptor> chain) {
+  co_await channel_sem_.acquire();
+  TCA_ASSERT(!free_channels_.empty());
+  const int channel = free_channels_.back();
+  free_channels_.pop_back();
+  co_await run_chain(std::move(chain), channel);
+  const bool error =
+      (chip_.dmac(channel).status() & regs::kDmaStatusError) != 0;
+  free_channels_.push_back(channel);
+  channel_sem_.release();
+  if (error) {
+    co_return Status{ErrorCode::kInvalidArgument, "DMA chain error"};
+  }
+  co_return Status::ok();
+}
+
+sim::Task<TimePs> Peach2Driver::run_immediate(
+    const peach2::DmaDescriptor& desc, int channel) {
+  const auto ch = static_cast<std::size_t>(channel);
+  TCA_ASSERT(!dma_in_flight_[ch] && "channel already has a chain in flight");
+  dma_in_flight_[ch] = true;
+
+  co_await write_register(regs::dma_bank(channel, regs::kDmaBankImmSrc),
+                          desc.src);
+  co_await write_register(regs::dma_bank(channel, regs::kDmaBankImmDst),
+                          desc.dst);
+  co_await write_register(
+      regs::dma_bank(channel, regs::kDmaBankImmLen),
+      static_cast<std::uint64_t>(desc.length) |
+          (static_cast<std::uint64_t>(desc.direction) << 32));
+
+  dma_done_[ch]->reset();
+  const TimePs t0 = node_.cpu().scheduler().now();
+  co_await write_register(regs::dma_bank(channel, regs::kDmaBankImmKick), 1);
+  co_await dma_done_[ch]->wait();
+  const TimePs elapsed = node_.cpu().scheduler().now() - t0;
+
+  co_await write_register(regs::dma_bank(channel, regs::kDmaBankIntAck), 1);
+  dma_in_flight_[ch] = false;
+  co_return elapsed;
+}
+
+sim::Task<TimePs> Peach2Driver::run_chain_polled(
+    std::vector<peach2::DmaDescriptor> chain, int channel) {
+  const auto ch = static_cast<std::size_t>(channel);
+  TCA_ASSERT(!dma_in_flight_[ch] && "channel already has a chain in flight");
+  TCA_ASSERT(!chain.empty() && chain.size() <= calib::kMaxDescriptors);
+  dma_in_flight_[ch] = true;
+
+  // The completion word lives just past this channel's table slice.
+  const std::uint64_t word_offset =
+      table_offset(channel) + table_slice_bytes() - 8;
+  std::uint64_t zero = 0;
+  node_.host_dram().write(word_offset, std::as_bytes(std::span(&zero, 1)));
+
+  co_await write_table(chain, channel);
+  co_await write_register(regs::dma_bank(channel, regs::kDmaBankWriteback),
+                          node::layout::kHostBase + word_offset);
+  co_await write_register(regs::dma_bank(channel, regs::kDmaBankTableAddr),
+                          node::layout::kHostBase + table_offset(channel));
+  co_await write_register(regs::dma_bank(channel, regs::kDmaBankCount),
+                          chain.size());
+
+  const TimePs t0 = node_.cpu().scheduler().now();
+  co_await write_register(regs::dma_bank(channel, regs::kDmaBankDoorbell), 1);
+  co_await node_.cpu().poll_host_until_change(word_offset, 0);
+  const TimePs elapsed = node_.cpu().scheduler().now() - t0;
+
+  // Restore interrupt mode for subsequent run_chain callers.
+  co_await write_register(regs::dma_bank(channel, regs::kDmaBankWriteback),
+                          0);
+  dma_in_flight_[ch] = false;
+  co_return elapsed;
+}
+
+sim::Task<> Peach2Driver::pio_store(std::uint64_t global_addr,
+                                    std::span<const std::byte> data) {
+  // The window is mmapped into user space; a store is an ordinary MMIO
+  // write whose bus address equals the global TCA address.
+  co_await node_.cpu().mmio_store(global_addr, data);
+}
+
+sim::Task<> Peach2Driver::pio_store_u32(std::uint64_t global_addr,
+                                        std::uint32_t value) {
+  std::array<std::byte, 4> bytes;
+  std::memcpy(bytes.data(), &value, 4);
+  co_await pio_store(global_addr, bytes);
+}
+
+std::uint64_t Peach2Driver::host_buffer_global(std::uint64_t offset) const {
+  TCA_ASSERT(offset < layout_.dma_buffer_bytes);
+  return chip_.layout().encode(chip_.node_id(), peach2::TcaTarget::kHost,
+                               layout_.dma_buffer_offset + offset);
+}
+
+std::uint64_t Peach2Driver::gpu_global(int gpu_index, gpu::DevPtr ptr) const {
+  TCA_ASSERT(gpu_index == 0 || gpu_index == 1);
+  return chip_.layout().encode(chip_.node_id(),
+                               gpu_index == 0 ? peach2::TcaTarget::kGpu0
+                                              : peach2::TcaTarget::kGpu1,
+                               ptr);
+}
+
+std::uint64_t Peach2Driver::internal_global(std::uint64_t offset) const {
+  return chip_.internal_block_base() + peach2::Peach2Chip::kInternalRamOffset +
+         offset;
+}
+
+}  // namespace tca::driver

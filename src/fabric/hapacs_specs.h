@@ -1,0 +1,64 @@
+// HA-PACS system specifications (Tables I and II of the paper), kept as
+// structured data so the spec benches can both print the tables and verify
+// their internal arithmetic (peak-FLOPS math, lane budgets) against the
+// simulator's configuration.
+#pragma once
+
+#include <cstdint>
+
+namespace tca::fabric::specs {
+
+/// Table I: the HA-PACS base cluster.
+struct BaseCluster {
+  // Computation node.
+  const char* cpu = "Intel Xeon-E5 2670 2.6 GHz x two sockets";
+  double cpu_ghz = 2.6;
+  int cores_per_socket = 8;
+  int sockets = 2;
+  int flops_per_cycle = 8;  // AVX: 4 DP mul + 4 DP add
+  const char* cpu_cache = "20-Mbyte cache / socket";
+  const char* host_memory = "DDR3 1600 MHz x 4 ch, 128 Gbytes";
+  double cpu_peak_gflops = 332.8;
+
+  const char* gpu = "NVIDIA Tesla M2090 1.3 GHz x 4";
+  int gpus_per_node = 4;
+  double gpu_peak_gflops_each = 665.0;
+  double gpu_peak_gflops = 2660.0;
+  const char* gpu_memory = "GDDR5 6 Gbytes / GPU";
+
+  const char* interconnect_nic = "Mellanox Connect-X3 Dual-port QDR";
+
+  // System.
+  int node_count = 268;
+  const char* storage = "Lustre File System 504 Tbytes";
+  const char* interconnect = "InfiniBand QDR 288 ports switch x 2";
+  double total_peak_tflops = 802.0;
+  int racks = 26;
+  int max_power_kw = 408;
+  double gflops_per_watt = 1.04;
+
+  // PCIe budget (Section II-A): 40 Gen3 lanes per CPU.
+  int pcie_lanes_per_cpu = 40;
+  int gpu_lanes = 16;   // x16 per GPU
+  int nic_lanes = 8;    // x8 per IB port set
+};
+
+/// Table II: the preliminary-evaluation test environment.
+struct TestEnvironment {
+  const char* cpu = "Xeon-E5 2670 2.6 GHz x 2";
+  const char* memory = "DDR3 1600 MHz x 4 ch, 128 Gbytes";
+  const char* motherboard_a = "SuperMicro X9DRG-QF";
+  const char* motherboard_b = "Intel S2600IP";
+  const char* gpu = "NVIDIA K20 2496 cores, 705 MHz";
+  const char* gpu_memory = "GDDR5 2600 MHz, 5 Gbytes";
+  const char* board = "PEACH2 prototype, 16 layers (main) + 8 layers (sub)";
+  const char* fpga = "Altera Stratix IV GX 530/290, 1932 pin";
+  std::uint64_t peach2_logic_version = 20121112;
+  const char* os = "Linux, CentOS 6.3";
+  const char* kernel = "kernel-2.6.32-279.{9,14,19}.1.el6.x86_64";
+  const char* gpu_driver = "NVIDIA-Linux-x86_64-304.{51,64}";
+  const char* cuda = "CUDA 5.0";
+  double peach2_clock_mhz = 250.0;
+};
+
+}  // namespace tca::fabric::specs

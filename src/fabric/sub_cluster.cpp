@@ -1,0 +1,205 @@
+#include "fabric/sub_cluster.h"
+
+namespace tca::fabric {
+
+using peach2::Peach2Chip;
+using peach2::Peach2Config;
+using peach2::PortId;
+using peach2::RouteEntry;
+using peach2::TcaLayout;
+
+namespace {
+
+pcie::LinkConfig cable_config(std::uint32_t from, std::uint32_t to,
+                              double bit_error_rate) {
+  // PCIe external cable between boards: Gen2 x8 with repeater/propagation
+  // latency (Section III-G). Shallow egress queue — see the PEACH2 slot
+  // link: backpressure must reach the DMA engine promptly.
+  return {.gen = 2,
+          .lanes = 8,
+          .propagation_ps = calib::kCableLatencyPs,
+          .tx_queue_bytes = 600,
+          .name = "cable/" + std::to_string(from) + "-" +
+                  std::to_string(to),
+          .bit_error_rate = bit_error_rate,
+          .error_seed = 0x5EED0000ull + from * 97 + to};
+}
+
+}  // namespace
+
+SubCluster::SubCluster(sim::Scheduler& sched, const SubClusterConfig& config)
+    : cfg_(config) {
+  auto layout_result = TcaLayout::create(config.window_base,
+                                         config.window_bytes,
+                                         config.node_count);
+  TCA_ASSERT(layout_result.is_ok());
+  layout_ = layout_result.value();
+  TCA_ASSERT(config.node_count >= 2);
+  TCA_ASSERT(config.topology != Topology::kDualRing ||
+             config.node_count >= 4);
+
+  for (std::uint32_t i = 0; i < config.node_count; ++i) {
+    auto& n = nodes_.emplace_back(std::make_unique<node::ComputeNode>(
+        sched, static_cast<int>(i), config.node_config));
+
+    Peach2Config pcfg{
+        .device_id = static_cast<pcie::DeviceId>(i * 16 + 8),
+        .node_id = i,
+        .layout = layout_,
+        .reg_base = node::layout::kPeach2RegBase,
+        .local_gpu0_base = node::layout::gpu_bar_base(0),
+        .local_gpu1_base = node::layout::gpu_bar_base(1),
+        .local_host_base = node::layout::kHostBase,
+    };
+    auto& chip = chips_.emplace_back(std::make_unique<Peach2Chip>(sched, pcfg));
+    chip->attach_port(PortId::kNorth,
+                      n->attach_peach2_slot(pcfg.device_id,
+                                            node::layout::kPeach2RegBase,
+                                            /*claim_tca_window=*/true));
+    drivers_.emplace_back(
+        std::make_unique<driver::Peach2Driver>(*n, *chip));
+  }
+
+  if (config.topology == Topology::kRing) {
+    wire_ring(sched, 0, config.node_count);
+    program_ring_routes(0, config.node_count);
+  } else {
+    const std::uint32_t half = config.node_count / 2;
+    wire_ring(sched, 0, half);
+    wire_ring(sched, half, half);
+    // South cross-links pair node i with node i + half.
+    for (std::uint32_t i = 0; i < half; ++i) {
+      auto& cable = cables_.emplace_back(std::make_unique<pcie::PcieLink>(
+          sched, cable_config(i, i + half, cfg_.cable_bit_error_rate)));
+      chips_[i]->attach_port(PortId::kSouth, cable->end_a());
+      chips_[i + half]->attach_port(PortId::kSouth, cable->end_b());
+    }
+    program_dual_ring_routes();
+  }
+}
+
+void SubCluster::wire_ring(sim::Scheduler& sched, std::uint32_t first,
+                           std::uint32_t count) {
+  if (count < 2) return;
+  // A 2-node ring degenerates to two cables between the same pair of
+  // boards (E0-W1 and E1-W0), which is exactly how two PEACH2 boards are
+  // cabled back to back.
+  for (std::uint32_t k = 0; k < count; ++k) {
+    const std::uint32_t i = first + k;
+    const std::uint32_t j = first + (k + 1) % count;
+    auto& cable = cables_.emplace_back(
+        std::make_unique<pcie::PcieLink>(sched, cable_config(i, j, cfg_.cable_bit_error_rate)));
+    chips_[i]->attach_port(PortId::kEast, cable->end_a());
+    chips_[j]->attach_port(PortId::kWest, cable->end_b());
+  }
+}
+
+void SubCluster::program_ring_routes(std::uint32_t first,
+                                     std::uint32_t count) {
+  const std::uint64_t slice = layout_.slice_size();
+  for (std::uint32_t a = 0; a < count; ++a) {
+    for (std::uint32_t b = 0; b < count; ++b) {
+      if (a == b) continue;
+      const std::uint32_t cw = (b + count - a) % count;   // hops going East
+      const std::uint32_t ccw = (a + count - b) % count;  // hops going West
+      const PortId port = cw <= ccw ? PortId::kEast : PortId::kWest;
+      const Status st = chips_[first + a]->routing().add(RouteEntry{
+          .mask = ~(slice - 1),
+          .lower = layout_.slice_base(first + b),
+          .upper = layout_.slice_base(first + b),
+          .port = port,
+      });
+      TCA_ASSERT(st.is_ok());
+    }
+  }
+}
+
+void SubCluster::program_dual_ring_routes() {
+  const std::uint32_t half = cfg_.node_count / 2;
+  const std::uint64_t slice = layout_.slice_size();
+  program_ring_routes(0, half);
+  program_ring_routes(half, half);
+  // Destinations in the other ring: cross at the paired node first, then
+  // ride that ring. Each node needs an S entry for every cross-ring slice;
+  // the ring entries at the far side take over after the hop.
+  for (std::uint32_t i = 0; i < cfg_.node_count; ++i) {
+    const bool in_first = i < half;
+    const std::uint32_t p = i % half;  // position within own ring
+    const std::uint32_t other_base = in_first ? half : 0;
+    for (std::uint32_t q = 0; q < half; ++q) {
+      const std::uint32_t dest = other_base + q;
+      // Cross South at the node that pairs with the destination: if we are
+      // at the pairing position, hop rings; otherwise ride our ring toward
+      // that position (shortest direction).
+      PortId port;
+      if (p == q) {
+        port = PortId::kSouth;
+      } else {
+        const std::uint32_t cw = (q + half - p) % half;
+        const std::uint32_t ccw = (p + half - q) % half;
+        port = cw <= ccw ? PortId::kEast : PortId::kWest;
+      }
+      const Status st = chips_[i]->routing().add(RouteEntry{
+          .mask = ~(slice - 1),
+          .lower = layout_.slice_base(dest),
+          .upper = layout_.slice_base(dest),
+          .port = port,
+      });
+      TCA_ASSERT(st.is_ok());
+    }
+  }
+}
+
+void SubCluster::print_stats(std::FILE* out) const {
+  std::fprintf(out, "sub-cluster statistics (%u nodes)\n", size());
+  for (std::uint32_t i = 0; i < size(); ++i) {
+    const Peach2Chip& chip = *chips_[i];
+    std::fprintf(out,
+                 "  chip %u: forwarded=%llu dropped=%llu acks_sent=%llu "
+                 "mailbox=%llu\n",
+                 i, static_cast<unsigned long long>(chip.forwarded_tlps()),
+                 static_cast<unsigned long long>(chip.dropped_tlps()),
+                 static_cast<unsigned long long>(chip.acks_sent()),
+                 static_cast<unsigned long long>(chip.mailbox_count()));
+    auto& mutable_chip = *chips_[i];  // dmac() is non-const
+    for (int ch = 0; ch < calib::kDmaChannels; ++ch) {
+      const auto& d = mutable_chip.dmac(ch);
+      if (d.chains_completed() == 0 && d.errors() == 0) continue;
+      std::fprintf(
+          out,
+          "    dma ch%d: chains=%llu descs=%llu wr=%llu rd=%llu err=%llu\n",
+          ch, static_cast<unsigned long long>(d.chains_completed()),
+          static_cast<unsigned long long>(d.descriptors_completed()),
+          static_cast<unsigned long long>(d.bytes_written()),
+          static_cast<unsigned long long>(d.bytes_read()),
+          static_cast<unsigned long long>(d.errors()));
+    }
+    auto& node_ref = *nodes_[i];
+    std::fprintf(
+        out, "    host: written=%llu read=%llu unroutable=%llu+%llu\n",
+        static_cast<unsigned long long>(
+            node_ref.socket(0).host_bytes_written()),
+        static_cast<unsigned long long>(node_ref.socket(0).host_bytes_read()),
+        static_cast<unsigned long long>(node_ref.socket(0).unroutable_tlps()),
+        static_cast<unsigned long long>(
+            node_ref.socket(1).unroutable_tlps()));
+    for (int g = 0; g < node_ref.gpu_count(); ++g) {
+      const auto& gpu = node_ref.gpu(g);
+      if (gpu.writes_received() == 0 && gpu.reads_received() == 0) continue;
+      std::fprintf(out, "    gpu%d: writes=%llu reads=%llu errors=%llu\n", g,
+                   static_cast<unsigned long long>(gpu.writes_received()),
+                   static_cast<unsigned long long>(gpu.reads_received()),
+                   static_cast<unsigned long long>(gpu.access_errors()));
+    }
+  }
+}
+
+std::uint32_t SubCluster::ring_hops(std::uint32_t from,
+                                    std::uint32_t to) const {
+  const std::uint32_t n = size();
+  const std::uint32_t cw = (to + n - from) % n;
+  const std::uint32_t ccw = (from + n - to) % n;
+  return std::min(cw, ccw);
+}
+
+}  // namespace tca::fabric

@@ -1,0 +1,107 @@
+// TCA sub-cluster builder (Sections II-B, III-E).
+//
+// Assembles N compute nodes, one PEACH2 board each, wires the boards into a
+// ring over their East/West ports (optionally two rings coupled by the South
+// ports), programs every chip's routing registers per Fig. 5, and
+// instantiates a driver per node. "The basic unit is the sub-cluster, which
+// consists of eight to 16 nodes" — the builder accepts 2..16 (power of two).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "calib/calibration.h"
+#include "driver/peach2_driver.h"
+#include "node/compute_node.h"
+#include "peach2/chip.h"
+#include "peach2/tca_layout.h"
+#include "pcie/link.h"
+#include "sim/scheduler.h"
+
+namespace tca::fabric {
+
+enum class Topology {
+  /// Single ring over E/W ports (the paper's primary configuration).
+  kRing,
+  /// Two rings of N/2 nodes, coupled pairwise by the S ports ("Port S is
+  /// ... used to combine two rings by connecting to Port S on the peer
+  /// node"). Requires node_count >= 4.
+  kDualRing,
+};
+
+struct SubClusterConfig {
+  std::uint32_t node_count = 2;  ///< power of two, 2..16
+  Topology topology = Topology::kRing;
+  node::NodeConfig node_config;
+  std::uint64_t window_base = calib::kTcaWindowBase;
+  std::uint64_t window_bytes = calib::kTcaWindowBytes;
+  /// Fault injection: bit error rate on the inter-node cables (LCRC
+  /// failures trigger data-link-layer replays; data is never lost).
+  double cable_bit_error_rate = 0;
+};
+
+class SubCluster {
+ public:
+  SubCluster(sim::Scheduler& sched, const SubClusterConfig& config);
+
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+  [[nodiscard]] const peach2::TcaLayout& layout() const { return layout_; }
+  [[nodiscard]] const SubClusterConfig& config() const { return cfg_; }
+
+  [[nodiscard]] node::ComputeNode& node(std::uint32_t i) {
+    return *nodes_.at(i);
+  }
+  [[nodiscard]] peach2::Peach2Chip& chip(std::uint32_t i) {
+    return *chips_.at(i);
+  }
+  [[nodiscard]] driver::Peach2Driver& driver(std::uint32_t i) {
+    return *drivers_.at(i);
+  }
+
+  /// Global TCA addresses of targets inside node `i`.
+  [[nodiscard]] std::uint64_t global_host(std::uint32_t i,
+                                          std::uint64_t offset) const {
+    return layout_.encode(i, peach2::TcaTarget::kHost, offset);
+  }
+  [[nodiscard]] std::uint64_t global_gpu(std::uint32_t i, int gpu,
+                                         std::uint64_t offset) const {
+    return layout_.encode(i,
+                          gpu == 0 ? peach2::TcaTarget::kGpu0
+                                   : peach2::TcaTarget::kGpu1,
+                          offset);
+  }
+
+  /// Ring hop count from node `from` to node `to` (shortest direction),
+  /// as the routing tables will steer it.
+  [[nodiscard]] std::uint32_t ring_hops(std::uint32_t from,
+                                        std::uint32_t to) const;
+
+  /// Fault injection: takes every inter-node cable down (or back up).
+  /// Host-to-chip slot links are untouched — the Section V property that
+  /// distinguishes PEACH2 from NTB-based fabrics.
+  void set_fabric_up(bool up) {
+    for (auto& cable : cables_) cable->set_up(up);
+  }
+
+  /// Dumps per-chip / per-channel / per-node counters (diagnostics; used by
+  /// tca_explore --stats).
+  void print_stats(std::FILE* out = stdout) const;
+
+ private:
+  void wire_ring(sim::Scheduler& sched, std::uint32_t first,
+                 std::uint32_t count);
+  void program_ring_routes(std::uint32_t first, std::uint32_t count);
+  void program_dual_ring_routes();
+
+  SubClusterConfig cfg_;
+  peach2::TcaLayout layout_;
+  std::vector<std::unique_ptr<node::ComputeNode>> nodes_;
+  std::vector<std::unique_ptr<peach2::Peach2Chip>> chips_;
+  std::vector<std::unique_ptr<driver::Peach2Driver>> drivers_;
+  std::vector<std::unique_ptr<pcie::PcieLink>> cables_;
+};
+
+}  // namespace tca::fabric

@@ -1,0 +1,52 @@
+// Byte-addressable memory with real storage.
+//
+// The simulator is functional: DMA and PIO move actual bytes, so tests and
+// examples can verify data integrity end-to-end. Timing (commit/read
+// latency) is applied by the component that owns the memory, not here.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+
+namespace tca::mem {
+
+class Dram {
+ public:
+  explicit Dram(std::uint64_t size_bytes) : data_(size_bytes) {}
+
+  [[nodiscard]] std::uint64_t size() const { return data_.size(); }
+
+  void write(std::uint64_t offset, std::span<const std::byte> src) {
+    TCA_ASSERT(offset + src.size() <= data_.size());
+    std::copy(src.begin(), src.end(), data_.begin() + static_cast<std::ptrdiff_t>(offset));
+  }
+
+  void read(std::uint64_t offset, std::span<std::byte> dst) const {
+    TCA_ASSERT(offset + dst.size() <= data_.size());
+    std::copy_n(data_.begin() + static_cast<std::ptrdiff_t>(offset),
+                dst.size(), dst.begin());
+  }
+
+  [[nodiscard]] std::span<const std::byte> view(std::uint64_t offset,
+                                                std::uint64_t len) const {
+    TCA_ASSERT(offset + len <= data_.size());
+    return {data_.data() + offset, len};
+  }
+
+  [[nodiscard]] std::span<std::byte> view_mut(std::uint64_t offset,
+                                              std::uint64_t len) {
+    TCA_ASSERT(offset + len <= data_.size());
+    return {data_.data() + offset, len};
+  }
+
+  void fill(std::byte value) { std::fill(data_.begin(), data_.end(), value); }
+
+ private:
+  std::vector<std::byte> data_;
+};
+
+}  // namespace tca::mem

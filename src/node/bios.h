@@ -1,0 +1,68 @@
+// BIOS BAR-assignment model (footnote 2 of the paper).
+//
+// "The address region is set to the base address register (BAR) at boot
+//  time. In fact, the BIOS must be able to assign such large address
+//  regions. Currently, only a few motherboards can support the PEACH2
+//  board."
+//
+// The model keeps the repository's deterministic bus-address layout but
+// makes BAR *capability* explicit: a board profile bounds the MMIO window a
+// device may claim, and enumeration fails for boards that cannot map the
+// 512 GB TCA window — exactly why Table II lists the two qualified
+// motherboards.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.h"
+
+namespace tca::node {
+
+struct MotherboardProfile {
+  const char* name;
+  /// Largest single device BAR the firmware can place above 4 GiB.
+  std::uint64_t max_device_bar_bytes;
+  /// Total 64-bit MMIO space the firmware reserves for devices.
+  std::uint64_t mmio_window_bytes;
+};
+
+/// The two qualified boards of Table II.
+inline constexpr MotherboardProfile kSuperMicroX9DRG_QF{
+    "SuperMicro X9DRG-QF", 1ull << 40, 2ull << 40};
+inline constexpr MotherboardProfile kIntelS2600IP{
+    "Intel S2600IP", 1ull << 40, 2ull << 40};
+
+/// A typical contemporary board whose firmware tops out well below the TCA
+/// window — the footnote's "only a few motherboards" case.
+inline constexpr MotherboardProfile kCommodityBoard{
+    "commodity dual-socket board", 64ull << 30, 256ull << 30};
+
+class Bios {
+ public:
+  explicit Bios(const MotherboardProfile& profile) : profile_(profile) {}
+
+  [[nodiscard]] const MotherboardProfile& profile() const { return profile_; }
+
+  /// Boot-time BAR sizing check; called once per claimed BAR.
+  Status claim_bar(std::uint64_t size) {
+    if (size > profile_.max_device_bar_bytes) {
+      return {ErrorCode::kResourceExhausted,
+              std::string(profile_.name) +
+                  ": firmware cannot assign a BAR this large"};
+    }
+    if (claimed_ + size > profile_.mmio_window_bytes) {
+      return {ErrorCode::kResourceExhausted,
+              std::string(profile_.name) + ": 64-bit MMIO window exhausted"};
+    }
+    claimed_ += size;
+    return Status::ok();
+  }
+
+  [[nodiscard]] std::uint64_t claimed_bytes() const { return claimed_; }
+
+ private:
+  MotherboardProfile profile_;
+  std::uint64_t claimed_ = 0;
+};
+
+}  // namespace tca::node

@@ -1,0 +1,116 @@
+// A HA-PACS/TCA compute node (Fig. 2 of the paper).
+//
+// Two Xeon E5 sockets, each with its own root complex; GPU0/GPU1 and the
+// PEACH2 slot on socket 0, GPU2/GPU3 on socket 1; the sockets joined by QPI
+// over which peer-to-peer traffic is severely throttled. One CpuAgent models
+// the driver thread (it runs on socket 0, where the PEACH2 board lives).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "calib/calibration.h"
+#include "gpu/gpu_device.h"
+#include "memory/dram.h"
+#include "node/bios.h"
+#include "node/cpu_agent.h"
+#include "node/root_complex.h"
+#include "pcie/link.h"
+#include "sim/scheduler.h"
+
+namespace tca::node {
+
+/// Node-local PCIe bus-address layout.
+namespace layout {
+inline constexpr std::uint64_t kHostBase = 0x0;
+inline constexpr std::uint64_t kGpuBarBase = 0x20'0000'0000ull;
+inline constexpr std::uint64_t kGpuBarStride = 0x2'0000'0000ull;  // 8 GiB
+inline constexpr std::uint64_t kPeach2RegBase = 0x30'0000'0000ull;
+inline constexpr std::uint64_t kPeach2RegSize = 64ull << 10;
+
+constexpr std::uint64_t gpu_bar_base(int gpu_index) {
+  return kGpuBarBase +
+         static_cast<std::uint64_t>(gpu_index) * kGpuBarStride;
+}
+}  // namespace layout
+
+struct NodeConfig {
+  int gpu_count = 4;
+  /// Backing-store sizes (functional model capacity; the *nominal* hardware
+  /// sizes — 128 GB DDR3, 5 GB GDDR5 — are reported by the spec tables).
+  std::uint64_t host_backing_bytes = 64ull << 20;
+  std::uint64_t gpu_backing_bytes = 32ull << 20;
+  /// Firmware profile: bounds the BARs devices may claim (footnote 2 —
+  /// the TCA window needs one of the Table II qualified boards).
+  MotherboardProfile board = kSuperMicroX9DRG_QF;
+};
+
+class ComputeNode {
+ public:
+  ComputeNode(sim::Scheduler& sched, int node_index,
+              const NodeConfig& config = {});
+
+  [[nodiscard]] int index() const { return index_; }
+  [[nodiscard]] const NodeConfig& config() const { return cfg_; }
+
+  [[nodiscard]] mem::Dram& host_dram() { return host_dram_; }
+  [[nodiscard]] RootComplex& socket(int i) {
+    TCA_ASSERT(i == 0 || i == 1);
+    return i == 0 ? rc0_ : rc1_;
+  }
+  [[nodiscard]] CpuAgent& cpu() { return cpu_; }
+  [[nodiscard]] gpu::GpuDevice& gpu(int i) {
+    TCA_ASSERT(i >= 0 && i < static_cast<int>(gpus_.size()));
+    return *gpus_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] int gpu_count() const { return static_cast<int>(gpus_.size()); }
+
+  /// Creates a PCIe Gen2 x8 slot for a PEACH2 board on socket 0 and returns
+  /// the board-side link port. `device_id` identifies the chip for
+  /// completion routing. BARs claimed: the register window at `reg_base`
+  /// and — only when `claim_tca_window` — the 512 GB TCA window (a node can
+  /// host two boards for the paper's Fig. 10 loopback experiment, but only
+  /// one of them owns the window mapping).
+  pcie::LinkPort& attach_peach2_slot(pcie::DeviceId device_id,
+                                     std::uint64_t reg_base,
+                                     bool claim_tca_window);
+
+  /// Like attach_peach2_slot, but reports BIOS BAR-capability failures
+  /// instead of asserting — the footnote-2 scenario where a board's
+  /// firmware cannot map the 512 GB window.
+  Result<pcie::LinkPort*> try_attach_peach2_slot(pcie::DeviceId device_id,
+                                                 std::uint64_t reg_base,
+                                                 bool claim_tca_window);
+
+  [[nodiscard]] Bios& bios() { return bios_; }
+
+  /// Device id allocator shared with the fabric builder.
+  [[nodiscard]] pcie::DeviceId cpu_device_id() const {
+    return rc0_.cpu_device_id();
+  }
+  [[nodiscard]] pcie::DeviceId gpu_device_id(int i) const {
+    return gpus_[static_cast<std::size_t>(i)]->id();
+  }
+
+ private:
+  /// Globally unique device ids: node_index*16 + slot.
+  [[nodiscard]] pcie::DeviceId make_id(int slot) const {
+    return static_cast<pcie::DeviceId>(index_ * 16 + slot);
+  }
+
+  sim::Scheduler& sched_;
+  int index_;
+  NodeConfig cfg_;
+  Bios bios_;
+  mem::Dram host_dram_;
+  RootComplex rc0_;
+  RootComplex rc1_;
+  pcie::PcieLink qpi_link_;
+  CpuAgent cpu_;
+  std::vector<std::unique_ptr<pcie::PcieLink>> gpu_links_;
+  std::vector<std::unique_ptr<gpu::GpuDevice>> gpus_;
+  std::vector<std::unique_ptr<pcie::PcieLink>> peach2_links_;
+};
+
+}  // namespace tca::node

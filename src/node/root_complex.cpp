@@ -1,0 +1,155 @@
+#include "node/root_complex.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/log.h"
+
+namespace tca::node {
+
+using calib::kHostReadLatencyPs;
+using calib::kHostWriteCommitPs;
+using calib::kMaxPayloadBytes;
+
+RootComplex::RootComplex(sim::Scheduler& sched, int socket,
+                         mem::Dram& host_dram, std::uint64_t host_base,
+                         pcie::DeviceId cpu_id)
+    : sched_(sched),
+      socket_(socket),
+      host_dram_(host_dram),
+      host_base_(host_base),
+      cpu_id_(cpu_id) {
+  const Status st = map_.add(host_base, host_dram.size(),
+                             Attachment{Attachment::Kind::kHostMemory});
+  TCA_ASSERT(st.is_ok());
+}
+
+Status RootComplex::attach_device(
+    pcie::DeviceId id, pcie::LinkPort& rc_port,
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& bars) {
+  for (const auto& [base, size] : bars) {
+    Status st =
+        map_.add(base, size, Attachment{Attachment::Kind::kDevice, &rc_port});
+    if (!st.is_ok()) return st;
+  }
+  requester_route_[id] = Attachment{Attachment::Kind::kDevice, &rc_port};
+  rc_port.set_sink(this);
+  rc_port.set_tx_ready([this, port = &rc_port] { pump(port); });
+  egress_.emplace(&rc_port, std::deque<pcie::Tlp>{});
+  return Status::ok();
+}
+
+void RootComplex::connect_qpi(pcie::LinkPort& qpi_port) {
+  qpi_port_ = &qpi_port;
+  qpi_port.set_sink(this);
+  qpi_port.set_tx_ready([this, port = &qpi_port] { pump(port); });
+  egress_.emplace(&qpi_port, std::deque<pcie::Tlp>{});
+}
+
+void RootComplex::inject_from_cpu(pcie::Tlp tlp) {
+  route(std::move(tlp), /*arrived_via_qpi=*/false);
+}
+
+void RootComplex::on_tlp(pcie::Tlp tlp, pcie::LinkPort& port) {
+  // The RC has ample internal buffering: return link credits on receipt.
+  port.release_rx(tlp.wire_bytes());
+  route(std::move(tlp), /*arrived_via_qpi=*/&port == qpi_port_);
+}
+
+void RootComplex::route(pcie::Tlp tlp, bool arrived_via_qpi) {
+  if (tlp.type == pcie::TlpType::kCompletion) {
+    send_to_requester(std::move(tlp));
+    return;
+  }
+
+  const std::uint64_t span = std::max<std::uint64_t>(
+      1, tlp.type == pcie::TlpType::kMemRead ? tlp.length
+                                             : tlp.payload.size());
+  const auto* range = map_.find_span(tlp.address, span);
+  if (range == nullptr) {
+    // Not local to this socket: cross QPI once.
+    if (!arrived_via_qpi && qpi_port_ != nullptr) {
+      forward(qpi_port_, std::move(tlp));
+      return;
+    }
+    ++unroutable_;
+    Log::write(LogLevel::kWarn, "rc", "unroutable TLP dropped");
+    return;
+  }
+
+  switch (range->value.kind) {
+    case Attachment::Kind::kHostMemory:
+      if (tlp.type == pcie::TlpType::kMemWrite) {
+        handle_host_write(std::move(tlp));
+      } else if (tlp.type == pcie::TlpType::kMemRead) {
+        handle_host_read(std::move(tlp));
+      } else {
+        ++unroutable_;  // vendor messages never target host memory
+      }
+      break;
+    case Attachment::Kind::kDevice:
+      forward(range->value.port, std::move(tlp));
+      break;
+    case Attachment::Kind::kQpi:
+      forward(qpi_port_, std::move(tlp));
+      break;
+  }
+}
+
+void RootComplex::handle_host_write(pcie::Tlp tlp) {
+  host_wr_ += tlp.payload.size();
+  const std::uint64_t offset = tlp.address - host_base_;
+  sched_.schedule_after(kHostWriteCommitPs,
+                        [this, offset, data = std::move(tlp.payload)] {
+                          host_dram_.write(offset, data);
+                        });
+}
+
+void RootComplex::handle_host_read(pcie::Tlp tlp) {
+  host_rd_ += tlp.length;
+  sched_.schedule_after(kHostReadLatencyPs, [this, req = std::move(tlp)] {
+    const std::uint64_t offset = req.address - host_base_;
+    std::uint32_t remaining = req.length;
+    while (remaining > 0) {
+      const std::uint32_t chunk = std::min(remaining, kMaxPayloadBytes);
+      std::vector<std::byte> data(chunk);
+      host_dram_.read(offset + (req.length - remaining), data);
+      send_to_requester(pcie::Tlp::completion(req, data, remaining));
+      remaining -= chunk;
+    }
+  });
+}
+
+void RootComplex::send_to_requester(pcie::Tlp cpl) {
+  if (cpl.requester == cpu_id_) {
+    TCA_ASSERT(cpu_completion_ != nullptr);
+    cpu_completion_(std::move(cpl));
+    return;
+  }
+  if (auto it = requester_route_.find(cpl.requester);
+      it != requester_route_.end()) {
+    forward(it->second.port, std::move(cpl));
+    return;
+  }
+  if (qpi_port_ != nullptr) {
+    forward(qpi_port_, std::move(cpl));
+    return;
+  }
+  ++unroutable_;
+}
+
+void RootComplex::forward(pcie::LinkPort* port, pcie::Tlp tlp) {
+  TCA_ASSERT(port != nullptr);
+  egress_[port].push_back(std::move(tlp));
+  pump(port);
+}
+
+void RootComplex::pump(pcie::LinkPort* port) {
+  auto& queue = egress_[port];
+  while (!queue.empty() && port->can_send(queue.front())) {
+    port->send(std::move(queue.front()));
+    queue.pop_front();
+  }
+}
+
+}  // namespace tca::node

@@ -1,0 +1,135 @@
+#include "pcie/link.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/trace.h"
+
+namespace tca::pcie {
+
+double LinkConfig::raw_bytes_per_sec() const {
+  if (custom_bytes_per_sec > 0) return custom_bytes_per_sec;
+  // Per-lane byte rates after line encoding:
+  //   Gen1: 2.5 GT/s * 8/10 = 250 MB/s   Gen2: 5 GT/s * 8/10 = 500 MB/s
+  //   Gen3: 8 GT/s * 128/130 = 984.6 MB/s
+  double per_lane = 0.0;
+  switch (gen) {
+    case 1: per_lane = 250e6; break;
+    case 2: per_lane = 500e6; break;
+    case 3: per_lane = 8e9 * 128.0 / 130.0 / 8.0; break;
+    default: TCA_ASSERT(false && "unsupported PCIe generation");
+  }
+  return per_lane * lanes;
+}
+
+double LinkConfig::ps_per_byte() const { return 1e12 / raw_bytes_per_sec(); }
+
+TimePs LinkConfig::serialize_ps(std::uint64_t wire_bytes) const {
+  return static_cast<TimePs>(
+      std::llround(static_cast<double>(wire_bytes) * ps_per_byte()));
+}
+
+bool LinkPort::can_send(const Tlp& tlp) const {
+  return tx_queued_ + tlp.wire_bytes() <= cfg_->tx_queue_bytes;
+}
+
+void LinkPort::send(Tlp tlp) {
+  TCA_ASSERT(can_send(tlp));
+  tx_queued_ += tlp.wire_bytes();
+  tx_queue_.push_back(std::move(tlp));
+  try_transmit();
+}
+
+void LinkPort::release_rx(std::uint64_t wire_bytes) {
+  rx_free_ += wire_bytes;
+  TCA_ASSERT(rx_free_ <= cfg_->rx_buffer_bytes);
+  // Freed buffer space may unblock the peer's serializer.
+  peer_->try_transmit();
+}
+
+void LinkPort::try_transmit() {
+  if (wire_busy_ || tx_queue_.empty() || !*link_up_) return;
+  const std::uint64_t wb = tx_queue_.front().wire_bytes();
+  if (peer_->rx_free_ < wb) return;  // no credits: wait for release_rx
+
+  Tlp tlp = std::move(tx_queue_.front());
+  tx_queue_.pop_front();
+  tx_queued_ -= wb;
+  peer_->rx_free_ -= wb;
+  wire_busy_ = true;
+
+  ++tlps_sent_;
+  wire_sent_ += wb;
+  data_sent_ += tlp.payload.size();
+
+  const TimePs serialize = cfg_->serialize_ps(wb);
+
+  // Data-link-layer reliability: a corrupted TLP fails its LCRC at the
+  // receiver, which NAKs; the sender retransmits from the replay buffer.
+  // Receiver credits stay reserved across the retry.
+  if (cfg_->bit_error_rate > 0) {
+    const double p_err =
+        1.0 - std::pow(1.0 - cfg_->bit_error_rate,
+                       static_cast<double>(wb) * 8.0);
+    if (error_rng_->next_double() < p_err) {
+      ++replays_;
+      // The wire stays busy until the retry is requeued: replay-buffer
+      // ordering forbids later TLPs overtaking the failed one.
+      sched_->schedule_after(
+          serialize + calib::kReplayDelayPs,
+          [this, t = std::move(tlp)]() mutable {
+            wire_busy_ = false;
+            peer_->rx_free_ += t.wire_bytes();  // re-reserved on the retry
+            tx_queued_ += t.wire_bytes();
+            tx_queue_.push_front(std::move(t));
+            try_transmit();
+          });
+      return;
+    }
+  }
+
+  if (Trace::instance().enabled() && !cfg_->name.empty()) {
+    Trace::instance().duration(
+        cfg_->name,
+        std::string(to_string(tlp.type)) + " " +
+            units::format_size(tlp.payload.empty() ? wb
+                                                   : tlp.payload.size()),
+        sched_->now(), sched_->now() + serialize);
+  }
+  sched_->schedule_after(serialize, [this] {
+    wire_busy_ = false;
+    try_transmit();
+    if (tx_ready_) tx_ready_();
+  });
+  sched_->schedule_after(
+      serialize + cfg_->propagation_ps,
+      [this, t = std::move(tlp)]() mutable { peer_->deliver(std::move(t)); });
+}
+
+void LinkPort::deliver(Tlp tlp) {
+  TCA_ASSERT(sink_ != nullptr && "LinkPort has no sink attached");
+  sink_->on_tlp(std::move(tlp), *this);
+}
+
+PcieLink::PcieLink(sim::Scheduler& sched, LinkConfig cfg)
+    : cfg_(cfg), error_rng_(cfg.error_seed), a_(sched, cfg_), b_(sched, cfg_) {
+  a_.peer_ = &b_;
+  b_.peer_ = &a_;
+  a_.link_up_ = &up_;
+  b_.link_up_ = &up_;
+  a_.error_rng_ = &error_rng_;
+  b_.error_rng_ = &error_rng_;
+}
+
+void PcieLink::set_up(bool up) {
+  if (up_ == up) return;
+  up_ = up;
+  if (a_.link_state_cb_) a_.link_state_cb_(up_);
+  if (b_.link_state_cb_) b_.link_state_cb_(up_);
+  if (up_) {
+    a_.try_transmit();
+    b_.try_transmit();
+  }
+}
+
+}  // namespace tca::pcie

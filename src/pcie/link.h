@@ -1,0 +1,168 @@
+// Point-to-point PCIe link model.
+//
+// A PcieLink is full duplex: each direction has an independent serializer
+// (one TLP on the wire at a time, occupying wire_bytes * ps_per_byte) and a
+// credit pool modeling the receiver buffer. A TLP starts transmission only
+// when the peer has buffer space for it; the receiving sink returns credits
+// once it has consumed or forwarded the TLP, which is how backpressure
+// propagates hop by hop through the fabric (e.g. a slow GPU BAR read path
+// stalls the PEACH2 DMA engine several links upstream).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "pcie/tlp.h"
+#include "sim/scheduler.h"
+
+namespace tca::pcie {
+
+/// Physical link parameters.
+struct LinkConfig {
+  int gen = 2;    ///< PCIe generation: 1, 2 (8b/10b) or 3 (128b/130b)
+  int lanes = 8;  ///< x1..x16
+  TimePs propagation_ps = 0;  ///< cable / trace flight time
+  std::uint64_t rx_buffer_bytes = 16 * 1024;  ///< per-direction credit pool
+  std::uint64_t tx_queue_bytes = 16 * 1024;   ///< per-direction egress queue
+
+  /// When > 0, overrides the gen/lanes rate. Used for non-PCIe transports
+  /// modeled with the same machinery (QPI peer path, InfiniBand).
+  double custom_bytes_per_sec = 0;
+
+  /// Optional identity for tracing (chrome://tracing track name). Links
+  /// without a name produce no trace events.
+  std::string name;
+
+  /// Bit error rate for fault injection. A corrupted TLP fails its LCRC at
+  /// the receiver and is retransmitted after kReplayDelayPs — the
+  /// data-link-layer reliability PEARL builds on. 0 disables (default).
+  double bit_error_rate = 0;
+  /// Seed for the deterministic error process.
+  std::uint64_t error_seed = 0x5EED;
+
+  /// Raw post-encoding byte rate (e.g. Gen2 x8 = 4.0 GB/s).
+  [[nodiscard]] double raw_bytes_per_sec() const;
+
+  /// Picoseconds to place one byte on the wire.
+  [[nodiscard]] double ps_per_byte() const;
+
+  /// Serialization time for a whole TLP.
+  [[nodiscard]] TimePs serialize_ps(std::uint64_t wire_bytes) const;
+};
+
+class LinkPort;
+
+/// Receiver interface. The sink takes ownership of the TLP and MUST call
+/// `port.release_rx(wire_bytes)` once the TLP has been consumed or forwarded;
+/// until then the sender's credits stay held (backpressure).
+class TlpSink {
+ public:
+  virtual ~TlpSink() = default;
+  virtual void on_tlp(Tlp tlp, LinkPort& port) = 0;
+};
+
+/// One endpoint of a PcieLink. Exposes the transmit queue toward the peer
+/// and receive-credit management for traffic from the peer.
+class LinkPort {
+ public:
+  LinkPort(const LinkPort&) = delete;
+  LinkPort& operator=(const LinkPort&) = delete;
+
+  /// True if the egress queue can accept this TLP now.
+  [[nodiscard]] bool can_send(const Tlp& tlp) const;
+
+  /// Enqueues a TLP for transmission. Caller must check can_send() first.
+  void send(Tlp tlp);
+
+  /// Registers the (single) callback invoked whenever egress space frees.
+  void set_tx_ready(std::function<void()> cb) { tx_ready_ = std::move(cb); }
+
+  /// Registers the receiver for inbound TLPs.
+  void set_sink(TlpSink* sink) { sink_ = sink; }
+
+  /// Returns receive credits after consuming/forwarding an inbound TLP.
+  void release_rx(std::uint64_t wire_bytes);
+
+  /// True when nothing is queued and the wire is idle (all accepted TLPs
+  /// fully serialized).
+  [[nodiscard]] bool tx_idle() const { return tx_queue_.empty() && !wire_busy_; }
+
+  /// Link operational state (both directions share it).
+  [[nodiscard]] bool link_up() const { return *link_up_; }
+
+  /// Registers the (single) callback invoked on link up/down transitions
+  /// (LTSSM surprise-down / retrain notification toward the device).
+  void set_link_state_callback(std::function<void(bool)> cb) {
+    link_state_cb_ = std::move(cb);
+  }
+
+  /// Statistics ------------------------------------------------------------
+  [[nodiscard]] std::uint64_t tlps_sent() const { return tlps_sent_; }
+  [[nodiscard]] std::uint64_t wire_bytes_sent() const { return wire_sent_; }
+  [[nodiscard]] std::uint64_t payload_bytes_sent() const { return data_sent_; }
+  /// LCRC-failed transmissions retried from the replay buffer.
+  [[nodiscard]] std::uint64_t replays() const { return replays_; }
+  [[nodiscard]] std::uint64_t tx_queued_bytes() const { return tx_queued_; }
+  [[nodiscard]] const LinkConfig& config() const { return *cfg_; }
+
+ private:
+  friend class PcieLink;
+  LinkPort(sim::Scheduler& sched, const LinkConfig& cfg)
+      : sched_(&sched), cfg_(&cfg), rx_free_(cfg.rx_buffer_bytes) {}
+
+  void try_transmit();
+  void deliver(Tlp tlp);
+
+  sim::Scheduler* sched_;
+  const LinkConfig* cfg_;
+  LinkPort* peer_ = nullptr;
+  const bool* link_up_ = nullptr;
+  std::function<void(bool)> link_state_cb_;
+
+  // Transmit side.
+  std::deque<Tlp> tx_queue_;
+  std::uint64_t tx_queued_ = 0;
+  bool wire_busy_ = false;
+  std::function<void()> tx_ready_;
+
+  // Receive side.
+  TlpSink* sink_ = nullptr;
+  std::uint64_t rx_free_;
+
+  std::uint64_t tlps_sent_ = 0;
+  std::uint64_t wire_sent_ = 0;
+  std::uint64_t data_sent_ = 0;
+  std::uint64_t replays_ = 0;
+  Rng* error_rng_ = nullptr;  // shared per-link error process
+};
+
+/// A full-duplex link between two ports.
+class PcieLink {
+ public:
+  PcieLink(sim::Scheduler& sched, LinkConfig cfg);
+
+  [[nodiscard]] LinkPort& end_a() { return a_; }
+  [[nodiscard]] LinkPort& end_b() { return b_; }
+  [[nodiscard]] const LinkConfig& config() const { return cfg_; }
+
+  /// Fault injection: while down, no new TLP starts transmission in either
+  /// direction (in-flight TLPs complete — they are already serialized).
+  /// Bringing the link back up resumes queued traffic. Unlike an NTB-based
+  /// fabric, a TCA link loss is survivable: the host-to-chip connection is
+  /// unaffected (Section V).
+  void set_up(bool up);
+  [[nodiscard]] bool is_up() const { return up_; }
+
+ private:
+  LinkConfig cfg_;
+  bool up_ = true;
+  Rng error_rng_;
+  LinkPort a_;
+  LinkPort b_;
+};
+
+}  // namespace tca::pcie

@@ -1,0 +1,91 @@
+// Transaction-layer packets (TLPs).
+//
+// The simulator models PCIe at TLP granularity: Memory Write Request
+// (posted), Memory Read Request (non-posted), Completion-with-Data, and a
+// vendor-defined message used by PEARL for end-to-end delivery notification.
+// TLPs carry *real payload bytes* so data integrity is checkable end-to-end.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "calib/calibration.h"
+#include "common/units.h"
+
+namespace tca::pcie {
+
+enum class TlpType : std::uint8_t {
+  kMemWrite,    ///< MWr: posted write, routed by address
+  kMemRead,     ///< MRd: non-posted read request, routed by address
+  kCompletion,  ///< CplD: read completion with data, routed by requester id
+  kVendorMsg,   ///< PEARL delivery notification, routed by address
+};
+
+const char* to_string(TlpType type);
+
+/// Identifies a requester (bus/device function in real PCIe; a flat device
+/// id here). Used to route completions back to the issuing device.
+using DeviceId = std::uint16_t;
+
+struct Tlp {
+  TlpType type = TlpType::kMemWrite;
+
+  /// Target PCIe bus address (MWr/MRd/kVendorMsg). For completions this
+  /// holds the original request address (useful for reassembly offsets).
+  std::uint64_t address = 0;
+
+  /// Requested byte count for MRd; payload size for MWr/CplD.
+  std::uint32_t length = 0;
+
+  DeviceId requester = 0;
+  std::uint8_t tag = 0;
+
+  /// Remaining byte count for multi-completion reads (PCIe's Byte Count
+  /// field): the requester knows the read finished when this completion's
+  /// payload covers the remainder.
+  std::uint32_t byte_count_remaining = 0;
+
+  /// PEARL delivery notification: when non-zero on a MemWrite, the chip that
+  /// forwards this TLP out its North port (i.e. delivers it into the
+  /// destination node) sends a kVendorMsg with the same `tag` to this global
+  /// mailbox address. Used by the DMAC's remote-write completion window.
+  std::uint64_t ack_address = 0;
+
+  std::vector<std::byte> payload;
+
+  /// Bytes this TLP occupies on the wire (payload + header/DLL/PHY framing),
+  /// using the overhead terms of the paper's peak-bandwidth formula.
+  [[nodiscard]] std::uint64_t wire_bytes() const;
+
+  [[nodiscard]] bool carries_data() const {
+    return type == TlpType::kMemWrite || type == TlpType::kCompletion;
+  }
+
+  /// Builders -------------------------------------------------------------
+
+  static Tlp mem_write(std::uint64_t address, std::span<const std::byte> data,
+                       DeviceId requester = 0);
+  static Tlp mem_read(std::uint64_t address, std::uint32_t length,
+                      DeviceId requester, std::uint8_t tag);
+  static Tlp completion(const Tlp& request, std::span<const std::byte> data,
+                        std::uint32_t byte_count_remaining);
+  static Tlp vendor_msg(std::uint64_t address, DeviceId requester,
+                        std::uint8_t tag);
+};
+
+/// Splits a byte range into TLP-payload-sized chunks honoring
+/// MaxPayloadSize. f(offset, chunk_len) is invoked in address order.
+template <typename F>
+void for_each_payload_chunk(std::uint64_t offset, std::uint64_t total,
+                            std::uint32_t max_payload, F&& f) {
+  std::uint64_t done = 0;
+  while (done < total) {
+    const auto chunk = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(max_payload, total - done));
+    f(offset + done, chunk);
+    done += chunk;
+  }
+}
+
+}  // namespace tca::pcie

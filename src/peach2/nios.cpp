@@ -1,0 +1,58 @@
+#include "peach2/nios.h"
+
+#include "peach2/chip.h"
+#include "peach2/registers.h"
+
+namespace tca::peach2 {
+
+NiosController::NiosController(sim::Scheduler& sched, Peach2Chip& chip)
+    : sched_(sched), chip_(chip), boot_time_(sched.now()) {}
+
+TimePs NiosController::uptime() const { return sched_.now() - boot_time_; }
+
+void NiosController::on_port_attached(PortId port) {
+  const auto p = static_cast<std::size_t>(port);
+  if (link_view_[p]) return;
+  link_view_[p] = true;
+  events_.push_back(LinkEvent{sched_.now(), port, true});
+}
+
+void NiosController::on_link_change(PortId port, bool up) {
+  // Firmware services the interrupt after a small delay; the latched view
+  // and the event log update together.
+  sched_.schedule_after(kServiceDelay, [this, port, up] {
+    const auto p = static_cast<std::size_t>(port);
+    if (link_view_[p] == up) return;  // duplicate transition collapsed
+    link_view_[p] = up;
+    events_.push_back(LinkEvent{sched_.now(), port, up});
+  });
+}
+
+std::uint64_t NiosController::read_register(std::uint64_t offset) const {
+  namespace r = regs;
+  switch (offset) {
+    case r::kNiosEventCount: return events_.size();
+    case r::kNiosUptime:
+      return static_cast<std::uint64_t>(units::to_ns(uptime()));
+    case r::kNiosPingCount: return pings_;
+    case r::kNiosLastEvent: {
+      if (events_.empty()) return 0;
+      const LinkEvent& e = events_.back();
+      return static_cast<std::uint64_t>(e.port) |
+             (static_cast<std::uint64_t>(e.up) << 8);
+    }
+    default: return 0;
+  }
+}
+
+void NiosController::write_register(std::uint64_t offset,
+                                    std::uint64_t value) {
+  if (offset != regs::kNiosCmd) return;
+  switch (value) {
+    case kCmdClearEvents: events_.clear(); break;
+    case kCmdPing: ++pings_; break;
+    default: break;  // unknown commands ignored, like real firmware
+  }
+}
+
+}  // namespace tca::peach2

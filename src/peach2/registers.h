@@ -1,0 +1,102 @@
+// PEACH2 register file (BAR0).
+//
+// The driver controls the chip exclusively through 64-bit MMIO accesses to
+// these offsets: routing/conversion setup, DMA descriptor-table address and
+// doorbell, interrupt acknowledge, and NIOS-maintained link status. Tests
+// may also use the structured accessors directly (the register path and the
+// struct path share the same state).
+#pragma once
+
+#include <cstdint>
+
+namespace tca::peach2::regs {
+
+// -- Identification ----------------------------------------------------------
+inline constexpr std::uint64_t kChipId = 0x000;       // RO
+inline constexpr std::uint64_t kLogicVersion = 0x008; // RO
+inline constexpr std::uint64_t kNodeId = 0x010;       // RW
+
+/// Value of kChipId: "PEACH2" in ASCII.
+inline constexpr std::uint64_t kChipIdValue = 0x0000'3248'4341'4550ull;
+/// Value of kLogicVersion: the FPGA logic revision in Table II.
+inline constexpr std::uint64_t kLogicVersionValue = 20121112;
+
+// -- DMA controller ----------------------------------------------------------
+// The chip carries kDmaChannels independent DMA engines (the production
+// PEACH2 board's multi-channel DMAC); each channel has a register bank of
+// kDmaBankStride bytes at kDmaBankBase + channel * kDmaBankStride.
+inline constexpr std::uint64_t kDmaBankBase = 0x200;
+inline constexpr std::uint64_t kDmaBankStride = 0x80;
+
+// Offsets within a channel bank:
+inline constexpr std::uint64_t kDmaBankTableAddr = 0x00;  // RW
+inline constexpr std::uint64_t kDmaBankCount = 0x08;      // RW
+inline constexpr std::uint64_t kDmaBankDoorbell = 0x10;   // WO
+inline constexpr std::uint64_t kDmaBankStatus = 0x18;     // RO
+inline constexpr std::uint64_t kDmaBankIntAck = 0x20;     // WO
+inline constexpr std::uint64_t kDmaBankImmSrc = 0x28;     // RW
+inline constexpr std::uint64_t kDmaBankImmDst = 0x30;     // RW
+inline constexpr std::uint64_t kDmaBankImmLen = 0x38;     // RW: len|dir<<32
+inline constexpr std::uint64_t kDmaBankImmKick = 0x40;    // WO
+inline constexpr std::uint64_t kDmaBankWriteback = 0x48;  // RW
+
+constexpr std::uint64_t dma_bank(int channel, std::uint64_t field) {
+  return kDmaBankBase +
+         static_cast<std::uint64_t>(channel) * kDmaBankStride + field;
+}
+
+// Channel-0 aliases (the common single-channel path).
+inline constexpr std::uint64_t kDmaTableAddr = kDmaBankBase + kDmaBankTableAddr;
+inline constexpr std::uint64_t kDmaCount = kDmaBankBase + kDmaBankCount;
+inline constexpr std::uint64_t kDmaDoorbell = kDmaBankBase + kDmaBankDoorbell;
+inline constexpr std::uint64_t kDmaStatus = kDmaBankBase + kDmaBankStatus;
+inline constexpr std::uint64_t kIntAck = kDmaBankBase + kDmaBankIntAck;
+inline constexpr std::uint64_t kDmaImmSrc = kDmaBankBase + kDmaBankImmSrc;
+inline constexpr std::uint64_t kDmaImmDst = kDmaBankBase + kDmaBankImmDst;
+inline constexpr std::uint64_t kDmaImmLen = kDmaBankBase + kDmaBankImmLen;
+inline constexpr std::uint64_t kDmaImmKick = kDmaBankBase + kDmaBankImmKick;
+inline constexpr std::uint64_t kDmaWritebackAddr =
+    kDmaBankBase + kDmaBankWriteback;
+
+inline constexpr std::uint64_t kMailboxCount = 0x048;  // RO: acks received
+
+/// kDmaBankStatus bits.
+inline constexpr std::uint64_t kDmaStatusBusy = 1ull << 0;
+inline constexpr std::uint64_t kDmaStatusDone = 1ull << 1;
+inline constexpr std::uint64_t kDmaStatusError = 1ull << 2;
+
+// -- Address conversion (Section III-E, "only at Port N") --------------------
+inline constexpr std::uint64_t kConvWindowBase = 0x080;
+inline constexpr std::uint64_t kConvWindowSize = 0x088;
+inline constexpr std::uint64_t kConvNodeCount = 0x090;
+inline constexpr std::uint64_t kConvLocalGpu0 = 0x098;
+inline constexpr std::uint64_t kConvLocalGpu1 = 0x0a0;
+inline constexpr std::uint64_t kConvLocalHost = 0x0a8;
+
+// -- Routing table -----------------------------------------------------------
+// Entry i occupies 4 consecutive 64-bit registers starting at
+// kRouteBase + i*kRouteStride: MASK, LOWER, UPPER, PORT.
+inline constexpr std::uint64_t kRouteBase = 0x400;
+inline constexpr std::uint64_t kRouteStride = 0x20;
+inline constexpr std::uint64_t kRouteMask = 0x00;
+inline constexpr std::uint64_t kRouteLower = 0x08;
+inline constexpr std::uint64_t kRouteUpper = 0x10;
+inline constexpr std::uint64_t kRoutePort = 0x18;
+
+// -- NIOS management processor ----------------------------------------------
+// Link status per port (N/E/W/S), maintained by the management firmware.
+inline constexpr std::uint64_t kLinkStatusBase = 0xc00;  // + 8*port, RO
+inline constexpr std::uint64_t kLinkUp = 1;
+inline constexpr std::uint64_t kLinkDown = 0;
+
+// Firmware telemetry and the management-command mailbox.
+inline constexpr std::uint64_t kNiosEventCount = 0xc20;  // RO
+inline constexpr std::uint64_t kNiosUptime = 0xc28;      // RO, nanoseconds
+inline constexpr std::uint64_t kNiosCmd = 0xc30;         // WO
+inline constexpr std::uint64_t kNiosPingCount = 0xc38;   // RO
+inline constexpr std::uint64_t kNiosLastEvent = 0xc40;   // RO: port | up<<8
+
+/// Register window size (must fit in the BAR claimed by the node).
+inline constexpr std::uint64_t kWindowBytes = 64 << 10;
+
+}  // namespace tca::peach2::regs

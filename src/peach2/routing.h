@@ -1,0 +1,68 @@
+// PEACH2 routing table (Section III-E, Fig. 5).
+//
+// "the control registers for the address mask, the lower bound, and the
+//  upper bound are prepared, and the destination port is statically decided
+//  by checking the result from the AND operation with the address mask."
+//
+// Each entry holds (mask, lower, upper, port); a destination address matches
+// when lower <= (addr & mask) <= upper. Entries are evaluated in order and
+// the first match wins — no table search or per-packet address conversion.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/error.h"
+
+namespace tca::peach2 {
+
+/// The four PCIe ports of the chip plus the internal destination (DMAC /
+/// internal RAM / register mailbox).
+enum class PortId : std::uint8_t {
+  kNorth = 0,  ///< to the host CPU (always)
+  kEast = 1,   ///< ring, fixed EP role
+  kWest = 2,   ///< ring, fixed RC role
+  kSouth = 3,  ///< ring-coupling port, role selectable (RC or EP)
+  kInternal = 4,
+};
+inline constexpr std::size_t kPortCount = 4;  // physical PCIe ports
+
+const char* to_string(PortId port);
+
+struct RouteEntry {
+  std::uint64_t mask = ~0ull;
+  std::uint64_t lower = 0;
+  std::uint64_t upper = 0;
+  PortId port = PortId::kNorth;
+
+  [[nodiscard]] bool matches(std::uint64_t addr) const {
+    const std::uint64_t masked = addr & mask;
+    return masked >= lower && masked <= upper;
+  }
+};
+
+class RoutingTable {
+ public:
+  /// Register-file capacity for route entries.
+  static constexpr std::size_t kCapacity = 64;
+
+  Status add(const RouteEntry& entry);
+  void clear() { entries_.clear(); }
+
+  /// First matching entry's port, or nullopt (packet is dropped and counted
+  /// by the chip — an unroutable address is a configuration error).
+  [[nodiscard]] std::optional<PortId> lookup(std::uint64_t addr) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const RouteEntry& entry(std::size_t i) const {
+    return entries_.at(i);
+  }
+  /// Mutable access for register-file writes (entry i may be rewritten).
+  RouteEntry& entry_mut(std::size_t i);
+
+ private:
+  std::vector<RouteEntry> entries_;
+};
+
+}  // namespace tca::peach2

@@ -1,0 +1,41 @@
+#include "peach2/tca_layout.h"
+
+#include "calib/calibration.h"
+
+namespace tca::peach2 {
+
+const char* to_string(TcaTarget target) {
+  switch (target) {
+    case TcaTarget::kGpu0: return "GPU0";
+    case TcaTarget::kGpu1: return "GPU1";
+    case TcaTarget::kHost: return "HOST";
+    case TcaTarget::kInternal: return "PEACH2";
+  }
+  return "?";
+}
+
+namespace {
+bool is_power_of_two(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+Result<TcaLayout> TcaLayout::create(std::uint64_t window_base,
+                                    std::uint64_t window_size,
+                                    std::uint32_t node_count) {
+  if (node_count == 0 || node_count > calib::kMaxSubClusterNodes ||
+      !is_power_of_two(node_count)) {
+    return Status{ErrorCode::kInvalidArgument,
+                  "node count must be a power of two in [1, 16]"};
+  }
+  if (!is_power_of_two(window_size) ||
+      window_size < node_count * kTcaTargetCount) {
+    return Status{ErrorCode::kInvalidArgument,
+                  "window size must be a power of two covering all blocks"};
+  }
+  if (window_base % window_size != 0) {
+    return Status{ErrorCode::kUnaligned,
+                  "window base must be aligned to the window size"};
+  }
+  return TcaLayout{window_base, window_size, node_count};
+}
+
+}  // namespace tca::peach2

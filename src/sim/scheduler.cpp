@@ -1,0 +1,72 @@
+#include "sim/scheduler.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace tca::sim {
+
+Scheduler::EventId Scheduler::schedule_at(TimePs t, std::function<void()> fn) {
+  TCA_ASSERT(t >= now_);
+  TCA_ASSERT(fn != nullptr);
+  const EventId id = next_id_++;
+  queue_.push(Entry{t, id, std::move(fn)});
+  return id;
+}
+
+Scheduler::EventId Scheduler::schedule_after(TimePs delay,
+                                             std::function<void()> fn) {
+  TCA_ASSERT(delay >= 0);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Scheduler::cancel(EventId id) {
+  if (id == kInvalidEvent || id >= next_id_) return false;
+  // We cannot remove from the middle of a priority_queue; mark instead and
+  // skip on pop. The set stays small because ids are erased when popped.
+  return cancelled_.insert(id).second;
+}
+
+bool Scheduler::pop_and_run() {
+  while (!queue_.empty()) {
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    if (auto it = cancelled_.find(entry.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    TCA_ASSERT(entry.time >= now_);
+    now_ = entry.time;
+    Log::set_now(now_);
+    ++processed_;
+    entry.fn();
+    return true;
+  }
+  return false;
+}
+
+bool Scheduler::step() { return pop_and_run(); }
+
+void Scheduler::run() {
+  while (pop_and_run()) {
+  }
+}
+
+void Scheduler::run_until(TimePs t) {
+  TCA_ASSERT(t >= now_);
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (cancelled_.count(top.id) != 0) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.time > t) break;
+    pop_and_run();
+  }
+  now_ = t;
+  Log::set_now(now_);
+}
+
+}  // namespace tca::sim

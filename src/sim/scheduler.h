@@ -1,0 +1,80 @@
+// Discrete-event scheduler.
+//
+// Single-threaded, deterministic: events fire in (time, insertion-order)
+// order, so two runs with the same inputs produce identical traces. All
+// coroutine resumptions in the simulator are routed through this queue, which
+// keeps call stacks shallow and event ordering well-defined even when a
+// component fires a trigger from inside another component's callback.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.h"
+
+namespace tca::sim {
+
+class Scheduler {
+ public:
+  using EventId = std::uint64_t;
+  static constexpr EventId kInvalidEvent = 0;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] TimePs now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (must be >= now). Returns an id
+  /// usable with cancel().
+  EventId schedule_at(TimePs t, std::function<void()> fn);
+
+  /// Schedules `fn` after a relative delay (>= 0).
+  EventId schedule_after(TimePs delay, std::function<void()> fn);
+
+  /// Cancels a pending event. Returns false if it already ran, was already
+  /// cancelled, or the id is unknown.
+  bool cancel(EventId id);
+
+  /// Runs the earliest pending event. Returns false if the queue is empty.
+  bool step();
+
+  /// Runs events until the queue is empty.
+  void run();
+
+  /// Runs all events with time <= `t`, then advances now to `t`.
+  void run_until(TimePs t);
+
+  /// Runs all events within the next `duration` of simulated time.
+  void run_for(TimePs duration) { run_until(now_ + duration); }
+
+  [[nodiscard]] bool empty() const { return queue_.size() == cancelled_.size(); }
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Entry {
+    TimePs time;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;  // FIFO among same-time events
+    }
+  };
+
+  bool pop_and_run();
+
+  TimePs now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace tca::sim

@@ -1,0 +1,399 @@
+// Tests for the public TCA API: allocation, cudaMemcpyPeer-style transfers
+// across every host/GPU source-destination combination, PIO-vs-DMA policy,
+// block-stride chains, and flag synchronization.
+#include <gtest/gtest.h>
+
+#include "api/tca.h"
+
+namespace tca::api {
+namespace {
+
+using units::ns;
+using units::us;
+
+std::vector<std::byte> pattern(std::size_t n, std::uint8_t seed = 1) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((seed * 11 + i * 5) & 0xff);
+  }
+  return v;
+}
+
+TcaConfig small_config(std::uint32_t nodes = 2) {
+  return TcaConfig{.node_count = nodes,
+                   .node_config = {.gpu_count = 2,
+                                   .host_backing_bytes = 8 << 20,
+                                   .gpu_backing_bytes = 4 << 20}};
+}
+
+TEST(Runtime, AllocHostRespectsCapacity) {
+  sim::Scheduler sched;
+  Runtime rt(sched, small_config());
+  auto a = rt.alloc_host(0, 1 << 20);
+  ASSERT_TRUE(a.is_ok());
+  EXPECT_EQ(a.value().size, 1u << 20);
+  EXPECT_TRUE(a.value().is_host());
+
+  EXPECT_FALSE(rt.alloc_host(0, 0).is_ok());
+  EXPECT_FALSE(rt.alloc_host(9, 64).is_ok());
+  EXPECT_FALSE(rt.alloc_host(0, 1ull << 40).is_ok());
+}
+
+TEST(Runtime, AllocGpuPinsPages) {
+  sim::Scheduler sched;
+  Runtime rt(sched, small_config());
+  auto b = rt.alloc_gpu(1, 0, 128 << 10);
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_FALSE(b.value().is_host());
+  EXPECT_TRUE(rt.cluster().node(1).gpu(0).is_pinned(
+      b.value().block_offset, 128 << 10));
+}
+
+TEST(Runtime, AllocGpuRejectsCrossSocketGpus) {
+  sim::Scheduler sched;
+  Runtime rt(sched, small_config());
+  EXPECT_FALSE(rt.alloc_gpu(0, 2, 4096).is_ok());
+  EXPECT_FALSE(rt.alloc_gpu(0, 3, 4096).is_ok());
+  EXPECT_FALSE(rt.alloc_gpu(0, -1, 4096).is_ok());
+}
+
+TEST(Runtime, WriteReadRoundTripHostAndGpu) {
+  sim::Scheduler sched;
+  Runtime rt(sched, small_config());
+  auto host = rt.alloc_host(0, 4096).value();
+  auto dev = rt.alloc_gpu(0, 1, 4096).value();
+
+  auto data = pattern(1024, 3);
+  rt.write(host, 100, data);
+  rt.write(dev, 200, data);
+  std::vector<std::byte> out(1024);
+  rt.read(host, 100, out);
+  EXPECT_EQ(out, data);
+  rt.read(dev, 200, out);
+  EXPECT_EQ(out, data);
+}
+
+struct CopyCase {
+  bool src_host;
+  bool dst_host;
+  bool remote;
+  std::uint64_t bytes;
+};
+
+class MemcpyPeerTest : public ::testing::TestWithParam<CopyCase> {};
+
+TEST_P(MemcpyPeerTest, MovesBytesCorrectly) {
+  const CopyCase& c = GetParam();
+  sim::Scheduler sched;
+  Runtime rt(sched, small_config());
+
+  auto make = [&](bool host, std::uint32_t node) {
+    return host ? rt.alloc_host(node, 64 << 10).value()
+                : rt.alloc_gpu(node, 0, 64 << 10).value();
+  };
+  Buffer src = make(c.src_host, 0);
+  Buffer dst = make(c.dst_host, c.remote ? 1 : 0);
+  if (!c.remote && c.src_host == c.dst_host && !c.src_host) {
+    // same-node GPU-to-GPU: use the second GPU as destination
+    dst = rt.alloc_gpu(0, 1, 64 << 10).value();
+  }
+
+  auto data = pattern(c.bytes, 7);
+  rt.write(src, 64, data);
+
+  auto t = rt.memcpy_peer(dst, 128, src, 64, c.bytes);
+  sched.run();
+  ASSERT_TRUE(t.done());
+  EXPECT_TRUE(t.result().is_ok()) << t.result().to_string();
+
+  std::vector<std::byte> out(c.bytes);
+  rt.read(dst, 128, out);
+  EXPECT_EQ(out, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPaths, MemcpyPeerTest,
+    ::testing::Values(
+        CopyCase{true, true, false, 256},      // host->host local, PIO
+        CopyCase{true, true, false, 8192},     // host->host local, DMA
+        CopyCase{true, true, true, 64},        // host->host remote, PIO
+        CopyCase{true, true, true, 32 << 10},  // host->host remote, DMA
+        CopyCase{true, false, false, 4096},    // host->GPU local
+        CopyCase{true, false, true, 4096},     // host->GPU remote
+        CopyCase{false, true, false, 4096},    // GPU->host local
+        CopyCase{false, true, true, 16 << 10}, // GPU->host remote
+        CopyCase{false, false, false, 4096},   // GPU->GPU same node
+        CopyCase{false, false, true, 4096}),   // GPU->GPU over nodes!
+    [](const auto& param_info) {
+      const CopyCase& c = param_info.param;
+      std::string name = c.src_host ? "Host" : "Gpu";
+      name += c.dst_host ? "ToHost" : "ToGpu";
+      name += c.remote ? "Remote" : "Local";
+      name += "_" + std::to_string(c.bytes);
+      return name;
+    });
+
+TEST(Runtime, MemcpyPeerRejectsOutOfRange) {
+  sim::Scheduler sched;
+  Runtime rt(sched, small_config());
+  auto a = rt.alloc_host(0, 4096).value();
+  auto b = rt.alloc_host(1, 4096).value();
+  auto t = rt.memcpy_peer(b, 4000, a, 0, 1024);
+  sched.run();
+  EXPECT_FALSE(t.result().is_ok());
+}
+
+TEST(Runtime, ShortHostCopiesUsePioLongOnesUseDma) {
+  sim::Scheduler sched;
+  Runtime rt(sched, small_config());
+  auto src = rt.alloc_host(0, 64 << 10).value();
+  auto dst = rt.alloc_host(1, 64 << 10).value();
+  auto data = pattern(64 << 10, 2);
+  rt.write(src, 0, data);
+
+  const std::uint64_t chains_before =
+      rt.cluster().chip(0).dmac().chains_completed();
+  auto t1 = rt.memcpy_peer(dst, 0, src, 0, 128);  // <= threshold: PIO
+  sched.run();
+  EXPECT_TRUE(t1.result().is_ok());
+  EXPECT_EQ(rt.cluster().chip(0).dmac().chains_completed(), chains_before);
+
+  auto t2 = rt.memcpy_peer(dst, 0, src, 0, 8192);  // > threshold: DMA
+  sched.run();
+  EXPECT_TRUE(t2.result().is_ok());
+  EXPECT_EQ(rt.cluster().chip(0).dmac().chains_completed(),
+            chains_before + 1);
+}
+
+TEST(Runtime, GpuToGpuOverNodesIsTheHeadlineFeature) {
+  // GPU memory on node 0 lands in GPU memory on node 1 without any host
+  // copy: host_bytes_written on both nodes' RCs stays zero.
+  sim::Scheduler sched;
+  Runtime rt(sched, small_config());
+  auto src = rt.alloc_gpu(0, 0, 32 << 10).value();
+  auto dst = rt.alloc_gpu(1, 0, 32 << 10).value();
+  auto data = pattern(32 << 10, 8);
+  rt.write(src, 0, data);
+
+  const std::uint64_t host_writes_before =
+      rt.cluster().node(0).socket(0).host_bytes_written() +
+      rt.cluster().node(1).socket(0).host_bytes_written();
+  auto t = rt.memcpy_peer(dst, 0, src, 0, 32 << 10);
+  sched.run();
+  ASSERT_TRUE(t.result().is_ok());
+
+  std::vector<std::byte> out(32 << 10);
+  rt.read(dst, 0, out);
+  EXPECT_EQ(out, data);
+  // The DMA descriptor table write is host traffic, but the *payload* never
+  // touches host memory: allow only the table bytes.
+  const std::uint64_t host_writes_after =
+      rt.cluster().node(0).socket(0).host_bytes_written() +
+      rt.cluster().node(1).socket(0).host_bytes_written();
+  EXPECT_EQ(host_writes_after, host_writes_before);
+}
+
+TEST(Runtime, BlockStrideMovesAllBlocks) {
+  sim::Scheduler sched;
+  Runtime rt(sched, small_config());
+  auto src = rt.alloc_host(0, 64 << 10).value();
+  auto dst = rt.alloc_host(1, 64 << 10).value();
+
+  // 8 blocks of 512 B from stride-1024 source into stride-2048 dest.
+  std::vector<std::vector<std::byte>> blocks;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    blocks.push_back(pattern(512, static_cast<std::uint8_t>(i + 1)));
+    rt.write(src, i * 1024, blocks.back());
+  }
+  auto t = rt.memcpy_block_stride(dst, 0, 2048, src, 0, 1024, 512, 8);
+  sched.run();
+  ASSERT_TRUE(t.result().is_ok()) << t.result().to_string();
+
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    std::vector<std::byte> out(512);
+    rt.read(dst, i * 2048, out);
+    EXPECT_EQ(out, blocks[i]) << "block " << i;
+  }
+}
+
+TEST(Runtime, BlockStrideRejectsOverflowAndTooMany) {
+  sim::Scheduler sched;
+  Runtime rt(sched, small_config());
+  auto src = rt.alloc_host(0, 8192).value();
+  auto dst = rt.alloc_host(1, 8192).value();
+  auto t1 = rt.memcpy_block_stride(dst, 0, 4096, src, 0, 4096, 512, 4);
+  sched.run();
+  EXPECT_FALSE(t1.result().is_ok());  // src extent 3*4096+512 > 8192
+  auto t2 = rt.memcpy_block_stride(dst, 0, 0, src, 0, 0, 16, 300);
+  sched.run();
+  EXPECT_FALSE(t2.result().is_ok());  // > kMaxDescriptors
+}
+
+TEST(Runtime, BatchRunsManyCopiesInOneChain) {
+  sim::Scheduler sched;
+  Runtime rt(sched, small_config());
+  auto src = rt.alloc_host(0, 64 << 10).value();
+  auto dst_a = rt.alloc_host(1, 32 << 10).value();
+  auto dst_b = rt.alloc_gpu(1, 0, 32 << 10).value();
+
+  auto d1 = pattern(4096, 21), d2 = pattern(4096, 22);
+  rt.write(src, 0, d1);
+  rt.write(src, 8192, d2);
+
+  const std::uint64_t chains0 = rt.cluster().chip(0).dmac().chains_completed();
+  std::vector<Runtime::CopyOp> ops{
+      {.dst = dst_a, .dst_off = 0, .src = src, .src_off = 0, .bytes = 4096},
+      {.dst = dst_b, .dst_off = 100, .src = src, .src_off = 8192,
+       .bytes = 4096}};
+  auto t = rt.memcpy_peer_batch(0, std::move(ops));
+  sched.run();
+  ASSERT_TRUE(t.result().is_ok()) << t.result().to_string();
+  EXPECT_EQ(rt.cluster().chip(0).dmac().chains_completed(), chains0 + 1);
+
+  std::vector<std::byte> out(4096);
+  rt.read(dst_a, 0, out);
+  EXPECT_EQ(out, d1);
+  rt.read(dst_b, 100, out);
+  EXPECT_EQ(out, d2);
+}
+
+TEST(Runtime, BatchRejectsNonLocalSources) {
+  sim::Scheduler sched;
+  Runtime rt(sched, small_config());
+  auto a = rt.alloc_host(0, 4096).value();
+  auto b = rt.alloc_host(1, 4096).value();
+  std::vector<Runtime::CopyOp> ops{
+      {.dst = a, .dst_off = 0, .src = b, .src_off = 0, .bytes = 64}};
+  auto t = rt.memcpy_peer_batch(0, std::move(ops));  // src on node 1!
+  sched.run();
+  EXPECT_FALSE(t.result().is_ok());
+  EXPECT_EQ(t.result().code(), ErrorCode::kPermissionDenied);
+}
+
+TEST(Stream, CoalescesCopiesIntoOneChainPerNode) {
+  sim::Scheduler sched;
+  Runtime rt(sched, small_config());
+  auto src = rt.alloc_host(0, 64 << 10).value();
+  auto dst = rt.alloc_host(1, 64 << 10).value();
+
+  Stream stream(rt);
+  std::vector<std::vector<std::byte>> blobs;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    blobs.push_back(pattern(2048, static_cast<std::uint8_t>(40 + i)));
+    rt.write(src, i * 4096, blobs.back());
+    ASSERT_TRUE(
+        stream.enqueue_copy(dst, i * 4096, src, i * 4096, 2048).is_ok());
+  }
+  EXPECT_EQ(stream.pending(), 6u);
+
+  std::uint64_t chains0 = 0;
+  for (int ch = 0; ch < calib::kDmaChannels; ++ch) {
+    chains0 += rt.cluster().chip(0).dmac(ch).chains_completed();
+  }
+  auto t = stream.synchronize();
+  sched.run();
+  ASSERT_TRUE(t.result().is_ok()) << t.result().to_string();
+  EXPECT_EQ(stream.pending(), 0u);
+
+  std::uint64_t chains1 = 0;
+  for (int ch = 0; ch < calib::kDmaChannels; ++ch) {
+    chains1 += rt.cluster().chip(0).dmac(ch).chains_completed();
+  }
+  EXPECT_EQ(chains1, chains0 + 1);  // six copies, ONE chain
+
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    std::vector<std::byte> out(2048);
+    rt.read(dst, i * 4096, out);
+    EXPECT_EQ(out, blobs[i]) << i;
+  }
+}
+
+TEST(Stream, MultiSourceNodesRunConcurrently) {
+  sim::Scheduler sched;
+  Runtime rt(sched, small_config());
+  auto buf0 = rt.alloc_host(0, 32 << 10).value();
+  auto buf1 = rt.alloc_host(1, 32 << 10).value();
+  auto a = pattern(8192, 60), b = pattern(8192, 61);
+  rt.write(buf0, 0, a);
+  rt.write(buf1, 0, b);
+
+  Stream stream(rt);
+  // Opposite directions in one stream: exchanged concurrently.
+  ASSERT_TRUE(stream.enqueue_copy(buf1, 16 << 10, buf0, 0, 8192).is_ok());
+  ASSERT_TRUE(stream.enqueue_copy(buf0, 16 << 10, buf1, 0, 8192).is_ok());
+  auto t = stream.synchronize();
+  sched.run();
+  ASSERT_TRUE(t.result().is_ok());
+
+  std::vector<std::byte> out(8192);
+  rt.read(buf1, 16 << 10, out);
+  EXPECT_EQ(out, a);
+  rt.read(buf0, 16 << 10, out);
+  EXPECT_EQ(out, b);
+}
+
+TEST(Stream, EnqueueValidatesEagerly) {
+  sim::Scheduler sched;
+  Runtime rt(sched, small_config());
+  auto buf = rt.alloc_host(0, 4096).value();
+  Stream stream(rt);
+  EXPECT_FALSE(stream.enqueue_copy(buf, 4000, buf, 0, 1024).is_ok());
+  EXPECT_EQ(stream.pending(), 0u);
+  // Zero-byte copies are accepted and dropped.
+  EXPECT_TRUE(stream.enqueue_copy(buf, 0, buf, 0, 0).is_ok());
+  EXPECT_EQ(stream.pending(), 0u);
+}
+
+TEST(Stream, EmptySynchronizeIsCheap) {
+  sim::Scheduler sched;
+  Runtime rt(sched, small_config());
+  Stream stream(rt);
+  auto t = stream.synchronize();
+  sched.run();
+  EXPECT_TRUE(t.result().is_ok());
+  EXPECT_EQ(sched.now(), 0);
+}
+
+TEST(Runtime, NotifyAndWaitFlagSynchronize) {
+  sim::Scheduler sched;
+  Runtime rt(sched, small_config());
+  auto flag = rt.alloc_host(1, 64).value();
+
+  bool producer_done = false;
+  sim::spawn([](Runtime& r, Buffer f, bool& done) -> sim::Task<> {
+    co_await sim::Delay(r.scheduler(), us(5));
+    co_await r.notify(0, f, 0, 0xCAFE);
+    done = true;
+  }(rt, flag, producer_done));
+
+  auto consumer = rt.wait_flag(flag, 0, 0xCAFE);
+  sched.run();
+  EXPECT_TRUE(producer_done);
+  EXPECT_TRUE(consumer.done());
+  EXPECT_GE(sched.now(), us(5));
+}
+
+TEST(Runtime, PioLatencyBeatsDmaForTinyMessages) {
+  sim::Scheduler sched;
+  Runtime rt(sched, small_config());
+  auto src = rt.alloc_host(0, 4096).value();
+  auto dst = rt.alloc_host(1, 4096).value();
+  auto data = pattern(64, 9);
+  rt.write(src, 0, data);
+
+  const TimePs t0 = sched.now();
+  auto pio = rt.memcpy_peer(dst, 0, src, 0, 64);
+  sched.run();
+  const TimePs pio_time = sched.now() - t0;
+
+  const TimePs t1 = sched.now();
+  auto dma = rt.memcpy_peer(dst, 1024, src, 0, 1024);  // forced DMA
+  sched.run();
+  const TimePs dma_time = sched.now() - t1;
+
+  EXPECT_LT(pio_time, us(1));
+  EXPECT_GT(dma_time, us(3));  // descriptor fetch + interrupt dominate
+}
+
+}  // namespace
+}  // namespace tca::api

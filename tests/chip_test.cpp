@@ -1,0 +1,265 @@
+// Direct Peach2Chip unit tests: a bare chip on test links (no node, no
+// fabric builder), exercising the forwarding engine, register file, address
+// conversion, internal region, and the put-only policy per port.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "peach2/chip.h"
+#include "peach2/dmac.h"
+#include "peach2/nios.h"
+#include "peach2/registers.h"
+
+namespace tca::peach2 {
+namespace {
+
+namespace r = regs;
+using units::ns;
+using units::us;
+
+/// Records whatever comes out of a chip port.
+class PortProbe : public pcie::TlpSink {
+ public:
+  void on_tlp(pcie::Tlp tlp, pcie::LinkPort& port) override {
+    port.release_rx(tlp.wire_bytes());
+    received.push_back(std::move(tlp));
+  }
+  std::vector<pcie::Tlp> received;
+};
+
+/// A chip with all four ports on probe links.
+struct ChipRig {
+  explicit ChipRig(sim::Scheduler& sched, std::uint32_t node_id = 0)
+      : layout(TcaLayout::create(1ull << 40, 1ull << 39, 4).value()) {
+    Peach2Config cfg{
+        .device_id = 42,
+        .node_id = node_id,
+        .layout = layout,
+        .reg_base = 0x30'0000'0000ull,
+        .local_gpu0_base = 0x20'0000'0000ull,
+        .local_gpu1_base = 0x22'0000'0000ull,
+        .local_host_base = 0x0,
+    };
+    chip = std::make_unique<Peach2Chip>(sched, cfg);
+    for (std::size_t p = 0; p < kPortCount; ++p) {
+      links[p] = std::make_unique<pcie::PcieLink>(
+          sched, pcie::LinkConfig{.gen = 2, .lanes = 8});
+      chip->attach_port(static_cast<PortId>(p), links[p]->end_a());
+      links[p]->end_b().set_sink(&probes[p]);
+    }
+  }
+
+  pcie::LinkPort& far_end(PortId port) {
+    return links[static_cast<std::size_t>(port)]->end_b();
+  }
+  PortProbe& probe(PortId port) {
+    return probes[static_cast<std::size_t>(port)];
+  }
+
+  TcaLayout layout;
+  std::unique_ptr<Peach2Chip> chip;
+  std::array<std::unique_ptr<pcie::PcieLink>, kPortCount> links;
+  std::array<PortProbe, kPortCount> probes;
+};
+
+std::vector<std::byte> bytes8(std::uint64_t v) {
+  std::vector<std::byte> out(8);
+  std::memcpy(out.data(), &v, 8);
+  return out;
+}
+
+TEST(Chip, OwnSliceConvertsAndExitsNorth) {
+  sim::Scheduler sched;
+  ChipRig rig(sched, /*node_id=*/1);
+
+  // A write for node 1's host block arrives from East; it must leave North
+  // with the address converted to the local bus space.
+  const std::uint64_t global =
+      rig.layout.encode(1, TcaTarget::kHost, 0x1234);
+  rig.far_end(PortId::kEast).send(pcie::Tlp::mem_write(global, bytes8(7)));
+  sched.run();
+
+  ASSERT_EQ(rig.probe(PortId::kNorth).received.size(), 1u);
+  EXPECT_EQ(rig.probe(PortId::kNorth).received[0].address, 0x1234u);
+  EXPECT_EQ(rig.chip->forwarded_tlps(), 1u);
+}
+
+TEST(Chip, GpuBlocksConvertToBarAddresses) {
+  sim::Scheduler sched;
+  ChipRig rig(sched, 0);
+  rig.far_end(PortId::kWest).send(pcie::Tlp::mem_write(
+      rig.layout.encode(0, TcaTarget::kGpu1, 0x40), bytes8(1)));
+  sched.run();
+  ASSERT_EQ(rig.probe(PortId::kNorth).received.size(), 1u);
+  EXPECT_EQ(rig.probe(PortId::kNorth).received[0].address,
+            0x22'0000'0040ull);
+}
+
+TEST(Chip, ForeignSliceFollowsRoutingTable) {
+  sim::Scheduler sched;
+  ChipRig rig(sched, 0);
+  const std::uint64_t slice = rig.layout.slice_size();
+  ASSERT_TRUE(rig.chip->routing()
+                  .add({.mask = ~(slice - 1),
+                        .lower = rig.layout.slice_base(2),
+                        .upper = rig.layout.slice_base(2),
+                        .port = PortId::kSouth})
+                  .is_ok());
+
+  rig.far_end(PortId::kNorth)
+      .send(pcie::Tlp::mem_write(rig.layout.encode(2, TcaTarget::kHost, 0),
+                                 bytes8(2)));
+  sched.run();
+  EXPECT_EQ(rig.probe(PortId::kSouth).received.size(), 1u);
+  EXPECT_TRUE(rig.probe(PortId::kNorth).received.empty());
+}
+
+TEST(Chip, UnroutableForeignSliceDroppedAndCounted) {
+  sim::Scheduler sched;
+  ChipRig rig(sched, 0);
+  rig.far_end(PortId::kNorth)
+      .send(pcie::Tlp::mem_write(rig.layout.encode(3, TcaTarget::kHost, 0),
+                                 bytes8(3)));
+  sched.run();
+  EXPECT_EQ(rig.chip->dropped_tlps(), 1u);
+  for (std::size_t p = 0; p < kPortCount; ++p) {
+    EXPECT_TRUE(rig.probes[p].received.empty());
+  }
+}
+
+TEST(Chip, PutOnlyRejectsReadsFromFabricPorts) {
+  sim::Scheduler sched;
+  ChipRig rig(sched, 0);
+  // MRd arriving from East targeting the local host: rejected.
+  rig.far_end(PortId::kEast).send(pcie::Tlp::mem_read(
+      rig.layout.encode(0, TcaTarget::kHost, 0), 64, /*req=*/9, 1));
+  // MRd from the host toward a REMOTE node: rejected too.
+  rig.far_end(PortId::kNorth).send(pcie::Tlp::mem_read(
+      rig.layout.encode(2, TcaTarget::kHost, 0), 64, 9, 2));
+  sched.run();
+  EXPECT_EQ(rig.chip->dropped_tlps(), 2u);
+}
+
+TEST(Chip, LocalReadFromHostPortAllowed) {
+  sim::Scheduler sched;
+  ChipRig rig(sched, 0);
+  // The host reading its own node's internal RAM: permitted (Port N).
+  auto data = bytes8(0xABCD);
+  rig.chip->internal_ram().write(0x100, data);
+  rig.far_end(PortId::kNorth)
+      .send(pcie::Tlp::mem_read(rig.chip->internal_block_base() +
+                                    Peach2Chip::kInternalRamOffset + 0x100,
+                                8, /*requester=*/9, 5));
+  sched.run();
+  ASSERT_EQ(rig.probe(PortId::kNorth).received.size(), 1u);
+  const pcie::Tlp& cpl = rig.probe(PortId::kNorth).received[0];
+  EXPECT_EQ(cpl.type, pcie::TlpType::kCompletion);
+  EXPECT_EQ(cpl.payload, data);
+  EXPECT_EQ(cpl.tag, 5);
+}
+
+TEST(Chip, InternalRamWriteOutOfBoundsDropped) {
+  sim::Scheduler sched;
+  ChipRig rig(sched, 0);
+  const std::uint64_t beyond = rig.chip->internal_block_base() +
+                               Peach2Chip::kInternalRamOffset +
+                               rig.chip->internal_ram().size();
+  rig.far_end(PortId::kNorth).send(pcie::Tlp::mem_write(beyond, bytes8(1)));
+  // Also: a write into the mailbox page (offset < kInternalRamOffset).
+  rig.far_end(PortId::kNorth)
+      .send(pcie::Tlp::mem_write(rig.chip->internal_block_base() + 8,
+                                 bytes8(2)));
+  sched.run();
+  EXPECT_EQ(rig.chip->dropped_tlps(), 2u);
+}
+
+TEST(Chip, RegisterFileFullMap) {
+  sim::Scheduler sched;
+  ChipRig rig(sched, 3);
+  auto& chip = *rig.chip;
+
+  EXPECT_EQ(chip.read_register(r::kChipId), r::kChipIdValue);
+  EXPECT_EQ(chip.read_register(r::kLogicVersion), r::kLogicVersionValue);
+  EXPECT_EQ(chip.read_register(r::kNodeId), 3u);
+  chip.write_register(r::kNodeId, 2);
+  EXPECT_EQ(chip.read_register(r::kNodeId), 2u);
+
+  // Conversion registers.
+  chip.write_register(r::kConvLocalHost, 0x1000);
+  EXPECT_EQ(chip.read_register(r::kConvLocalHost), 0x1000u);
+  EXPECT_EQ(chip.read_register(r::kConvWindowBase), rig.layout.window_base);
+  EXPECT_EQ(chip.read_register(r::kConvNodeCount), 4u);
+
+  // Link status: all four ports attached.
+  for (std::size_t p = 0; p < kPortCount; ++p) {
+    EXPECT_EQ(chip.read_register(r::kLinkStatusBase + 8 * p), r::kLinkUp);
+  }
+
+  // Unknown registers read as zero, writes are ignored.
+  EXPECT_EQ(chip.read_register(0x9998), 0u);
+  chip.write_register(0x9998, 0xdead);
+  EXPECT_EQ(chip.read_register(0x9998), 0u);
+}
+
+TEST(Chip, RegisterMlpOverMmioWindow) {
+  sim::Scheduler sched;
+  ChipRig rig(sched, 0);
+  // A register write TLP through the N port updates the file; a read TLP
+  // returns a completion with the value.
+  rig.far_end(PortId::kNorth)
+      .send(pcie::Tlp::mem_write(0x30'0000'0000ull + r::kNodeId, bytes8(7)));
+  sched.run();
+  EXPECT_EQ(rig.chip->read_register(r::kNodeId), 7u);
+
+  rig.far_end(PortId::kNorth)
+      .send(pcie::Tlp::mem_read(0x30'0000'0000ull + r::kNodeId, 8, 9, 3));
+  sched.run();
+  ASSERT_EQ(rig.probe(PortId::kNorth).received.size(), 1u);
+  std::uint64_t value = 0;
+  std::memcpy(&value, rig.probe(PortId::kNorth).received[0].payload.data(),
+              8);
+  EXPECT_EQ(value, 7u);
+}
+
+TEST(Chip, VendorMsgToOwnMailboxCounts) {
+  sim::Scheduler sched;
+  ChipRig rig(sched, 0);
+  rig.far_end(PortId::kEast)
+      .send(pcie::Tlp::vendor_msg(rig.chip->internal_block_base(), 8, 33));
+  sched.run();
+  EXPECT_EQ(rig.chip->mailbox_count(), 1u);
+  // Tag 33 belongs to channel 0's ack window; an unexpected ack counts as
+  // a channel error (nothing pending).
+  EXPECT_EQ(rig.chip->dmac(0).errors(), 1u);
+}
+
+TEST(Chip, ForwardingPreservesOrderWithinAPort) {
+  sim::Scheduler sched;
+  ChipRig rig(sched, 1);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    rig.far_end(PortId::kEast).send(pcie::Tlp::mem_write(
+        rig.layout.encode(1, TcaTarget::kHost, i * 0x100), bytes8(i)));
+  }
+  sched.run();
+  ASSERT_EQ(rig.probe(PortId::kNorth).received.size(), 8u);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(rig.probe(PortId::kNorth).received[i].address, i * 0x100ull);
+  }
+}
+
+TEST(Chip, NiosSeesAttachAndTransitions) {
+  sim::Scheduler sched;
+  ChipRig rig(sched, 0);
+  EXPECT_EQ(rig.chip->nios().event_count(), 4u);  // four attach events
+
+  rig.links[1]->set_up(false);  // East down
+  sched.run_for(NiosController::kServiceDelay + ns(10));
+  EXPECT_EQ(rig.chip->nios().event_count(), 5u);
+  EXPECT_FALSE(rig.chip->nios().link_view(PortId::kEast));
+  const std::uint64_t last = rig.chip->read_register(r::kNiosLastEvent);
+  EXPECT_EQ(last & 0xff, static_cast<std::uint64_t>(PortId::kEast));
+  EXPECT_EQ((last >> 8) & 1, 0u);  // down
+}
+
+}  // namespace
+}  // namespace tca::peach2

@@ -1,0 +1,103 @@
+// Unit tests for the memory substrate: RangeMap decode and Dram storage.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "memory/dram.h"
+#include "memory/range_map.h"
+
+namespace tca::mem {
+namespace {
+
+TEST(RangeMap, FindInsideAndOutside) {
+  RangeMap<std::string> map;
+  ASSERT_TRUE(map.add(0x1000, 0x100, "host").is_ok());
+  ASSERT_TRUE(map.add(0x2000, 0x200, "gpu0").is_ok());
+
+  ASSERT_NE(map.find(0x1000), nullptr);
+  EXPECT_EQ(map.find(0x1000)->value, "host");
+  EXPECT_EQ(map.find(0x10ff)->value, "host");
+  EXPECT_EQ(map.find(0x1100), nullptr);  // one past the end
+  EXPECT_EQ(map.find(0x0fff), nullptr);
+  EXPECT_EQ(map.find(0x21ff)->value, "gpu0");
+}
+
+TEST(RangeMap, RejectsOverlaps) {
+  RangeMap<int> map;
+  ASSERT_TRUE(map.add(0x1000, 0x100, 1).is_ok());
+  EXPECT_FALSE(map.add(0x1080, 0x100, 2).is_ok());  // tail overlap
+  EXPECT_FALSE(map.add(0x0f80, 0x100, 3).is_ok());  // head overlap
+  EXPECT_FALSE(map.add(0x1000, 0x100, 4).is_ok());  // exact duplicate
+  EXPECT_FALSE(map.add(0x0800, 0x1000, 5).is_ok()); // engulfing
+  EXPECT_TRUE(map.add(0x1100, 0x100, 6).is_ok());   // adjacent is fine
+  EXPECT_TRUE(map.add(0x0f00, 0x100, 7).is_ok());   // adjacent below
+}
+
+TEST(RangeMap, RejectsEmptyAndWrapping) {
+  RangeMap<int> map;
+  EXPECT_FALSE(map.add(0x1000, 0, 1).is_ok());
+  EXPECT_FALSE(map.add(~0ull - 10, 100, 2).is_ok());
+}
+
+TEST(RangeMap, FindSpanRequiresFullContainment) {
+  RangeMap<int> map;
+  ASSERT_TRUE(map.add(0x1000, 0x100, 1).is_ok());
+  EXPECT_NE(map.find_span(0x1000, 0x100), nullptr);
+  EXPECT_NE(map.find_span(0x10f0, 0x10), nullptr);
+  EXPECT_EQ(map.find_span(0x10f0, 0x11), nullptr);  // crosses the boundary
+  EXPECT_EQ(map.find_span(0x2000, 1), nullptr);
+}
+
+TEST(RangeMap, RemoveByBase) {
+  RangeMap<int> map;
+  ASSERT_TRUE(map.add(0x1000, 0x100, 1).is_ok());
+  EXPECT_TRUE(map.remove(0x1000));
+  EXPECT_FALSE(map.remove(0x1000));
+  EXPECT_EQ(map.find(0x1000), nullptr);
+  EXPECT_TRUE(map.add(0x1000, 0x100, 2).is_ok());  // reusable after removal
+}
+
+TEST(RangeMap, IterationIsOrdered) {
+  RangeMap<int> map;
+  ASSERT_TRUE(map.add(0x3000, 0x100, 3).is_ok());
+  ASSERT_TRUE(map.add(0x1000, 0x100, 1).is_ok());
+  ASSERT_TRUE(map.add(0x2000, 0x100, 2).is_ok());
+  std::vector<int> order;
+  for (const auto& [base, range] : map) order.push_back(range.value);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Dram, ReadBackWhatWasWritten) {
+  Dram dram(4096);
+  Rng rng(5);
+  std::vector<std::byte> data(512);
+  rng.fill(data);
+  dram.write(128, data);
+
+  std::vector<std::byte> out(512);
+  dram.read(128, out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(Dram, ViewsAliasStorage) {
+  Dram dram(1024);
+  std::vector<std::byte> data{std::byte{0xAA}, std::byte{0xBB}};
+  dram.write(10, data);
+  auto view = dram.view(10, 2);
+  EXPECT_EQ(view[0], std::byte{0xAA});
+  EXPECT_EQ(view[1], std::byte{0xBB});
+
+  auto mut = dram.view_mut(10, 1);
+  mut[0] = std::byte{0xCC};
+  EXPECT_EQ(dram.view(10, 1)[0], std::byte{0xCC});
+}
+
+TEST(Dram, FillSetsEverything) {
+  Dram dram(64);
+  dram.fill(std::byte{0x5A});
+  for (auto b : dram.view(0, 64)) EXPECT_EQ(b, std::byte{0x5A});
+}
+
+}  // namespace
+}  // namespace tca::mem

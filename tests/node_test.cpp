@@ -1,0 +1,233 @@
+// Tests for the compute-node substrate: root-complex routing, host memory
+// read/write semantics, CPU MMIO agent, GPU attachment, and the QPI
+// peer-to-peer throttling the paper reports.
+#include <gtest/gtest.h>
+
+#include "calib/calibration.h"
+#include "node/compute_node.h"
+#include "sim/scheduler.h"
+
+namespace tca::node {
+namespace {
+
+using units::ns;
+using units::us;
+
+std::vector<std::byte> pattern(std::size_t n, std::uint8_t seed = 1) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((seed + 13 * i) & 0xff);
+  }
+  return v;
+}
+
+NodeConfig small_config() {
+  return NodeConfig{.gpu_count = 4,
+                    .host_backing_bytes = 8 << 20,
+                    .gpu_backing_bytes = 4 << 20};
+}
+
+TEST(ComputeNode, BuildsWithFourGpus) {
+  sim::Scheduler sched;
+  ComputeNode n(sched, 0, small_config());
+  EXPECT_EQ(n.gpu_count(), 4);
+  EXPECT_EQ(n.gpu(0).config().socket, 0);
+  EXPECT_EQ(n.gpu(1).config().socket, 0);
+  EXPECT_EQ(n.gpu(2).config().socket, 1);
+  EXPECT_EQ(n.gpu(3).config().socket, 1);
+  EXPECT_EQ(n.gpu(0).bar1_base(), layout::gpu_bar_base(0));
+}
+
+TEST(ComputeNode, DeviceIdsUniquePerNode) {
+  sim::Scheduler sched;
+  ComputeNode a(sched, 0, small_config());
+  ComputeNode b(sched, 1, small_config());
+  EXPECT_NE(a.gpu_device_id(0), b.gpu_device_id(0));
+  EXPECT_NE(a.cpu_device_id(), a.gpu_device_id(0));
+}
+
+TEST(CpuAgent, HostMemoryDirectAccess) {
+  sim::Scheduler sched;
+  ComputeNode n(sched, 0, small_config());
+  auto data = pattern(64);
+  n.cpu().write_host(0x1000, data);
+  std::vector<std::byte> out(64);
+  n.cpu().read_host(0x1000, out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(CpuAgent, MmioStoreToGpuBarViaRootComplex) {
+  sim::Scheduler sched;
+  ComputeNode n(sched, 0, small_config());
+  auto& gpu = n.gpu(0);
+  auto token = gpu.get_p2p_token(0);
+  ASSERT_TRUE(token.is_ok());
+  ASSERT_TRUE(gpu.pin_pages(token.value(), 0, 1 << 16).is_ok());
+
+  auto data = pattern(128, 5);
+  auto t = n.cpu().mmio_store(layout::gpu_bar_base(0) + 0x40, data);
+  sched.run();
+  ASSERT_TRUE(t.done());
+
+  std::vector<std::byte> out(128);
+  gpu.peek(0x40, out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(CpuAgent, MmioLoadFromGpuBar) {
+  sim::Scheduler sched;
+  ComputeNode n(sched, 0, small_config());
+  auto& gpu = n.gpu(1);
+  auto token = gpu.get_p2p_token(0);
+  ASSERT_TRUE(token.is_ok());
+  ASSERT_TRUE(gpu.pin_pages(token.value(), 0, 1 << 16).is_ok());
+  auto data = pattern(512, 9);
+  gpu.poke(0x200, data);
+
+  auto t = n.cpu().mmio_load(layout::gpu_bar_base(1) + 0x200, 512);
+  sched.run();
+  ASSERT_TRUE(t.done());
+  EXPECT_EQ(t.result(), data);
+}
+
+TEST(CpuAgent, ConcurrentLoadsUseDistinctTags) {
+  sim::Scheduler sched;
+  ComputeNode n(sched, 0, small_config());
+  auto& gpu = n.gpu(0);
+  auto token = gpu.get_p2p_token(0);
+  ASSERT_TRUE(token.is_ok());
+  ASSERT_TRUE(gpu.pin_pages(token.value(), 0, 1 << 16).is_ok());
+  auto d1 = pattern(64, 1), d2 = pattern(64, 2);
+  gpu.poke(0, d1);
+  gpu.poke(4096, d2);
+
+  auto t1 = n.cpu().mmio_load(layout::gpu_bar_base(0), 64);
+  auto t2 = n.cpu().mmio_load(layout::gpu_bar_base(0) + 4096, 64);
+  sched.run();
+  EXPECT_EQ(t1.result(), d1);
+  EXPECT_EQ(t2.result(), d2);
+}
+
+TEST(CpuAgent, PollDetectsChange) {
+  sim::Scheduler sched;
+  ComputeNode n(sched, 0, small_config());
+  std::uint32_t zero = 0;
+  n.cpu().write_host(0x500, std::as_bytes(std::span(&zero, 1)));
+
+  auto poll = n.cpu().poll_host_until_change(0x500, 0);
+  // Flip the value at 10 us via a scheduled write.
+  sched.schedule_at(us(10), [&n] {
+    std::uint32_t one = 1;
+    n.cpu().write_host(0x500, std::as_bytes(std::span(&one, 1)));
+  });
+  sched.run();
+  ASSERT_TRUE(poll.done());
+  const TimePs detected = poll.result();
+  EXPECT_GE(detected, us(10));
+  EXPECT_LE(detected, us(10) + calib::kCpuPollIterationPs +
+                           calib::kCpuPollDetectPs);
+}
+
+TEST(RootComplex, UnroutableTlpCounted) {
+  sim::Scheduler sched;
+  ComputeNode n(sched, 0, small_config());
+  auto data = pattern(8);
+  // Address mapped nowhere (beyond all BARs): crosses QPI once, then drops.
+  auto t = n.cpu().mmio_store(0x70'0000'0000ull, data);
+  sched.run();
+  EXPECT_EQ(n.socket(1).unroutable_tlps(), 1u);
+}
+
+TEST(RootComplex, CrossSocketWriteTraversesQpi) {
+  sim::Scheduler sched;
+  ComputeNode n(sched, 0, small_config());
+  auto& gpu2 = n.gpu(2);  // socket 1
+  auto token = gpu2.get_p2p_token(0);
+  ASSERT_TRUE(token.is_ok());
+  ASSERT_TRUE(gpu2.pin_pages(token.value(), 0, 1 << 16).is_ok());
+
+  auto data = pattern(256, 3);
+  auto t = n.cpu().mmio_store(layout::gpu_bar_base(2) + 0x10, data);
+  sched.run();
+
+  std::vector<std::byte> out(256);
+  gpu2.peek(0x10, out);
+  EXPECT_EQ(out, data);
+  // QPI path: throttled rate + extra latency makes this far slower than the
+  // same store to a socket-0 GPU.
+  EXPECT_GT(sched.now(), calib::kQpiExtraLatencyPs);
+}
+
+TEST(RootComplex, QpiPeerPathIsSeverelyDegraded) {
+  // Paper: P2P over QPI degrades "up to several hundred Mbytes/sec".
+  sim::Scheduler sched;
+  ComputeNode n(sched, 0, small_config());
+  auto& gpu2 = n.gpu(2);
+  auto token = gpu2.get_p2p_token(0);
+  ASSERT_TRUE(token.is_ok());
+  constexpr std::uint64_t kTotal = 1 << 20;
+  ASSERT_TRUE(gpu2.pin_pages(token.value(), 0, kTotal).is_ok());
+
+  auto data = pattern(kTotal, 4);
+  auto t = n.cpu().mmio_store(layout::gpu_bar_base(2), data);
+  sched.run();
+
+  const double rate = units::bytes_per_second(kTotal, sched.now());
+  EXPECT_LT(rate, 400e6);
+  EXPECT_GT(rate, 100e6);
+}
+
+TEST(RootComplex, HostReadAnsweredWithSplitCompletions) {
+  sim::Scheduler sched;
+  ComputeNode n(sched, 0, small_config());
+  auto data = pattern(512, 6);
+  n.host_dram().write(0x2000, data);
+
+  // An uncached load against the host range exercises the RC's completer
+  // path (split completions, kHostReadLatencyPs).
+  auto t = n.cpu().mmio_load(layout::kHostBase + 0x2000, 512);
+  sched.run();
+  ASSERT_TRUE(t.done());
+  EXPECT_EQ(t.result(), data);
+  EXPECT_EQ(n.socket(0).host_bytes_read(), 512u);
+  EXPECT_GE(sched.now(), calib::kHostReadLatencyPs);
+}
+
+TEST(Bios, QualifiedBoardMapsTheTcaWindow) {
+  sim::Scheduler sched;
+  ComputeNode n(sched, 0, small_config());  // X9DRG-QF default
+  auto slot = n.try_attach_peach2_slot(100, layout::kPeach2RegBase, true);
+  EXPECT_TRUE(slot.is_ok());
+  EXPECT_GE(n.bios().claimed_bytes(), calib::kTcaWindowBytes);
+}
+
+TEST(Bios, CommodityBoardCannotMapTheWindow) {
+  // Footnote 2: "Currently, only a few motherboards can support the PEACH2
+  // board."
+  sim::Scheduler sched;
+  NodeConfig cfg = small_config();
+  cfg.board = kCommodityBoard;
+  ComputeNode n(sched, 0, cfg);
+  auto slot = n.try_attach_peach2_slot(100, layout::kPeach2RegBase, true);
+  ASSERT_FALSE(slot.is_ok());
+  EXPECT_EQ(slot.status().code(), ErrorCode::kResourceExhausted);
+
+  // The board still works without the TCA window (registers only).
+  auto regs_only =
+      n.try_attach_peach2_slot(101, layout::kPeach2RegBase, false);
+  EXPECT_TRUE(regs_only.is_ok());
+}
+
+TEST(ComputeNode, TwoPeach2SlotsForLoopback) {
+  sim::Scheduler sched;
+  ComputeNode n(sched, 0, small_config());
+  auto& port_a = n.attach_peach2_slot(100, layout::kPeach2RegBase, true);
+  auto& port_b = n.attach_peach2_slot(
+      101, layout::kPeach2RegBase + layout::kPeach2RegSize, false);
+  (void)port_a;
+  (void)port_b;
+  SUCCEED();  // BAR overlap would have tripped the attach assertion
+}
+
+}  // namespace
+}  // namespace tca::node

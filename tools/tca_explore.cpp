@@ -1,0 +1,224 @@
+// tca_explore — command-line experiment runner for the TCA simulator.
+//
+// Lets a user sweep the design space without writing code: pick node count,
+// topology, transfer kind, burst depth and sizes, and get the bandwidth /
+// latency series for it.
+//
+// Examples:
+//   tca_explore                                   # defaults: Fig. 7-style
+//   tca_explore --nodes 8 --target remote-host --sizes 64,1024,4096
+//   tca_explore --op read --burst 16
+//   tca_explore --op pio --target remote-host --nodes 4 --dest 3
+//   tca_explore --topology dual-ring --nodes 8 --target remote-gpu
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/trace.h"
+
+using namespace tca;
+using bench::DmaRig;
+using peach2::DmaDescriptor;
+using peach2::DmaDirection;
+
+namespace {
+
+struct Options {
+  std::uint32_t nodes = 2;
+  fabric::Topology topology = fabric::Topology::kRing;
+  std::string op = "write";           // write | read | pipelined | pio
+  std::string target = "local-host";  // local-/remote- x host/gpu
+  std::uint32_t burst = 255;
+  std::uint32_t dest = 1;  // destination node for remote targets
+  std::vector<std::uint32_t> sizes = {64, 256, 1024, 4096};
+  std::string trace_path;  // chrome://tracing JSON output
+  bool stats = false;      // dump per-component counters at exit
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--nodes N] [--topology ring|dual-ring] "
+      "[--op write|read|pipelined|pio]\n"
+      "          [--target local-host|local-gpu|remote-host|remote-gpu]\n"
+      "          [--burst K] [--dest NODE] [--sizes a,b,c]\n",
+      argv0);
+  std::exit(2);
+}
+
+std::vector<std::uint32_t> parse_sizes(const std::string& arg) {
+  std::vector<std::uint32_t> out;
+  std::size_t pos = 0;
+  while (pos < arg.size()) {
+    const std::size_t comma = arg.find(',', pos);
+    const std::string tok = arg.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    out.push_back(static_cast<std::uint32_t>(std::stoul(tok)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (a == "--nodes") {
+      opt.nodes = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (a == "--topology") {
+      const std::string t = next();
+      if (t == "ring") {
+        opt.topology = fabric::Topology::kRing;
+      } else if (t == "dual-ring") {
+        opt.topology = fabric::Topology::kDualRing;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (a == "--op") {
+      opt.op = next();
+    } else if (a == "--target") {
+      opt.target = next();
+    } else if (a == "--burst") {
+      opt.burst = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (a == "--dest") {
+      opt.dest = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (a == "--sizes") {
+      opt.sizes = parse_sizes(next());
+    } else if (a == "--trace") {
+      opt.trace_path = next();
+    } else if (a == "--stats") {
+      opt.stats = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (opt.op != "write" && opt.op != "read" && opt.op != "pipelined" &&
+      opt.op != "pio") {
+    usage(argv[0]);
+  }
+  if (opt.burst == 0 || opt.burst > calib::kMaxDescriptors) usage(argv[0]);
+  if (opt.dest >= opt.nodes) usage(argv[0]);
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  if (!opt.trace_path.empty()) Trace::instance().enable();
+
+  sim::Scheduler sched;
+  fabric::SubCluster tca(
+      sched, fabric::SubClusterConfig{
+                 .node_count = opt.nodes,
+                 .topology = opt.topology,
+                 .node_config = {.gpu_count = 2,
+                                 .host_backing_bytes = 64ull << 20,
+                                 .gpu_backing_bytes = 8ull << 20}});
+  driver::Peach2Driver& drv = tca.driver(0);
+
+  // Stage data and pin GPU windows.
+  Rng rng(1);
+  std::vector<std::byte> fill(tca.chip(0).internal_ram().size());
+  rng.fill(fill);
+  tca.chip(0).internal_ram().write(0, fill);
+  std::vector<std::byte> hostfill(4 << 20);
+  rng.fill(hostfill);
+  for (std::uint32_t n = 0; n < opt.nodes; ++n) {
+    tca.node(n).host_dram().write(0, hostfill);
+    auto ptr = tca.node(n).gpu(0).mem_alloc(4 << 20);
+    TCA_ASSERT(ptr.is_ok());
+    TCA_ASSERT(tca.driver(n).p2p().pin(0, ptr.value(), 4 << 20).is_ok());
+  }
+
+  const bool remote = opt.target.rfind("remote", 0) == 0;
+  const bool gpu = opt.target.find("gpu") != std::string::npos;
+  const std::uint32_t dest_node = remote ? opt.dest : 0;
+  auto target_addr = [&](std::uint64_t off) {
+    return tca.layout().encode(dest_node,
+                               gpu ? peach2::TcaTarget::kGpu0
+                                   : peach2::TcaTarget::kHost,
+                               off);
+  };
+
+  std::printf("tca_explore: %u-node %s, op=%s target=%s dest=node%u "
+              "burst=%u\n",
+              opt.nodes,
+              opt.topology == fabric::Topology::kRing ? "ring" : "dual-ring",
+              opt.op.c_str(), opt.target.c_str(), dest_node, opt.burst);
+
+  TablePrinter table({"Size", "Elapsed", "Bandwidth", "Latency/op"});
+  for (std::uint32_t size : opt.sizes) {
+    TimePs elapsed = 0;
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(opt.burst) * size;
+    if (opt.op == "pio") {
+      std::vector<std::byte> data(size, std::byte{0x11});
+      const TimePs t0 = sched.now();
+      for (std::uint32_t i = 0; i < opt.burst; ++i) {
+        auto t = drv.pio_store(target_addr((i * size) % (1 << 20)), data);
+        sched.run();
+      }
+      elapsed = sched.now() - t0;
+    } else {
+      std::vector<DmaDescriptor> chain;
+      for (std::uint32_t i = 0; i < opt.burst; ++i) {
+        const std::uint64_t off =
+            (static_cast<std::uint64_t>(i) * size) % ((1 << 20) - size + 1);
+        DmaDescriptor d{.length = size};
+        if (opt.op == "write") {
+          d.direction = DmaDirection::kWrite;
+          d.src = drv.internal_global(off);
+          d.dst = target_addr(off);
+        } else if (opt.op == "read") {
+          if (remote) {
+            std::fprintf(stderr,
+                         "error: remote reads are not supported by the "
+                         "put-only fabric\n");
+            return 2;
+          }
+          d.direction = DmaDirection::kRead;
+          d.src = target_addr(off);
+          d.dst = drv.internal_global(off);
+        } else {  // pipelined
+          d.direction = DmaDirection::kPipelined;
+          d.src = drv.host_buffer_global(off);
+          d.dst = target_addr(off);
+        }
+        chain.push_back(d);
+      }
+      auto t = drv.run_chain(std::move(chain));
+      sched.run();
+      elapsed = t.result();
+    }
+    table.add_row(
+        {units::format_size(size), units::format_time(elapsed),
+         TablePrinter::cell(units::gbytes_per_second(total, elapsed), 3) +
+             " GB/s",
+         units::format_time(elapsed / opt.burst)});
+  }
+  table.print();
+  if (opt.stats) {
+    std::printf("\n");
+    tca.print_stats();
+  }
+
+  if (!opt.trace_path.empty()) {
+    const Status st = Trace::instance().write_json(opt.trace_path);
+    if (!st.is_ok()) {
+      std::fprintf(stderr, "trace: %s\n", st.to_string().c_str());
+      return 1;
+    }
+    std::printf("trace: %zu events -> %s (open in chrome://tracing)\n",
+                Trace::instance().event_count(), opt.trace_path.c_str());
+  }
+  return 0;
+}
