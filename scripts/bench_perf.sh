@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Simulator-core performance measurement (see docs/ARCHITECTURE.md,
+# "Simulator core performance").
+#
+# Builds Release, then:
+#   1. bench_sim_core — events/sec of the indexed scheduler vs. the seed
+#      baseline backend on synthetic churn (gates the >=3x headline), plus
+#      allocation-free / determinism / equivalence checks.
+#   2. Wall-clock A/B of two full-simulator benches (bench_fig9_dma_chain,
+#      bench_ring_scaling) with TCA_SCHED_BASELINE toggling the backend, and
+#      a byte-for-byte diff of their reports: simulated results must not
+#      drift by a single picosecond between backends.
+#
+# Everything lands in BENCH_sim_core.json at the repository root.
+set -u
+cd "$(dirname "$0")/.."
+
+BUILD=build-perf
+JSON=BENCH_sim_core.json
+
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null || exit 1
+cmake --build "$BUILD" -j --target \
+  bench_sim_core bench_fig9_dma_chain bench_ring_scaling > /dev/null || exit 1
+
+echo "== bench_sim_core (events/sec, indexed vs. baseline backend) =="
+"$BUILD"/bench/bench_sim_core --json "$JSON.tmp" || exit 1
+
+wallclock() { # binary -> best-of-2 seconds, report saved to $2
+  local t0 t1 best="" s
+  for _rep in 1 2; do
+    t0=$(date +%s.%N)
+    "$1" > "$2" 2>&1 || return 1
+    t1=$(date +%s.%N)
+    s=$(echo "$t0 $t1" | awk '{printf "%.3f", $2 - $1}')
+    if [ -z "$best" ] || awk "BEGIN{exit !($s < $best)}"; then best=$s; fi
+  done
+  echo "$best"
+}
+
+echo
+echo "== wall-clock A/B on full-simulator benches =="
+status=0
+drift=false
+entries=""
+for bench in bench_fig9_dma_chain bench_ring_scaling; do
+  bin="$BUILD/bench/$bench"
+  idx_s=$(TCA_SCHED_BASELINE=0 wallclock "$bin" "/tmp/$bench.indexed.txt") \
+    || status=1
+  base_s=$(TCA_SCHED_BASELINE=1 wallclock "$bin" "/tmp/$bench.baseline.txt") \
+    || status=1
+  if diff -q "/tmp/$bench.indexed.txt" "/tmp/$bench.baseline.txt" > /dev/null
+  then
+    drift_txt="identical output (0 ps drift)"
+  else
+    drift_txt="OUTPUT DIFFERS"
+    drift=true
+    status=1
+  fi
+  speed=$(echo "$base_s $idx_s" | awk '{printf "%.3f", $1 / $2}')
+  printf '%-24s baseline %ss  indexed %ss  (%sx)  %s\n' \
+    "$bench" "$base_s" "$idx_s" "$speed" "$drift_txt"
+  entries="$entries  \"$bench\": {\"baseline_wall_s\": $base_s, \
+\"indexed_wall_s\": $idx_s, \"wall_speedup\": $speed},\n"
+done
+
+# Merge the wall-clock numbers into the bench_sim_core JSON (its last line
+# is the lone closing brace).
+{
+  head -n -1 "$JSON.tmp"
+  echo "  ,"
+  printf '%b' "$entries"
+  echo "  \"zero_drift\": $($drift && echo false || echo true)"
+  echo "}"
+} > "$JSON"
+rm -f "$JSON.tmp"
+echo
+echo "wrote $JSON"
+exit $status

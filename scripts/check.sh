@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Fast pre-commit gate: Release build with warnings, full test suite, and a
+# ~1 s bench_sim_core smoke run (scheduler speedup tripwire + allocation,
+# determinism and backend-equivalence checks).
+#
+# For a deeper pass, configure with -DTCA_SANITIZE=address (or undefined)
+# and re-run the suite instrumented.
+set -eu
+cd "$(dirname "$0")/.."
+
+BUILD=build-check
+
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build "$BUILD" -j
+
+echo "== tests =="
+ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
+
+echo "== bench_sim_core smoke =="
+"$BUILD"/bench/bench_sim_core --smoke
+
+echo "check.sh: OK"

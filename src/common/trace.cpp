@@ -10,20 +10,42 @@ Trace& Trace::instance() {
   return trace;
 }
 
-void Trace::duration(const std::string& track, const std::string& name,
+Trace::StrId Trace::intern(std::string_view s) {
+  if (auto it = index_.find(s); it != index_.end()) return it->second;
+  const StrId id = static_cast<StrId>(strings_.size());
+  strings_.emplace_back(s);
+  index_.emplace(strings_.back(), id);
+  return id;
+}
+
+void Trace::duration(std::string_view track, std::string_view name,
                      TimePs begin, TimePs end) {
+  if (!enabled_) return;
+  duration(intern(track), intern(name), begin, end);
+}
+
+void Trace::duration(StrId track, StrId name, TimePs begin, TimePs end) {
   if (!enabled_) return;
   events_.push_back(Event{Kind::kDuration, track, name, begin, end, 0});
 }
 
-void Trace::instant(const std::string& track, const std::string& name,
-                    TimePs at) {
+void Trace::instant(std::string_view track, std::string_view name, TimePs at) {
+  if (!enabled_) return;
+  instant(intern(track), intern(name), at);
+}
+
+void Trace::instant(StrId track, StrId name, TimePs at) {
   if (!enabled_) return;
   events_.push_back(Event{Kind::kInstant, track, name, at, at, 0});
 }
 
-void Trace::counter(const std::string& track, const std::string& name,
-                    TimePs at, double value) {
+void Trace::counter(std::string_view track, std::string_view name, TimePs at,
+                    double value) {
+  if (!enabled_) return;
+  counter(intern(track), intern(name), at, value);
+}
+
+void Trace::counter(StrId track, StrId name, TimePs at, double value) {
   if (!enabled_) return;
   events_.push_back(Event{Kind::kCounter, track, name, at, at, value});
 }
@@ -45,9 +67,12 @@ std::string escape(const std::string& s) {
 std::string Trace::to_json() const {
   // Trace Event Format: ts/dur in microseconds (fractional allowed; we use
   // nanosecond precision = ps/1000). Tracks become tid values under one pid.
+  // tid assignment (first appearance in event order) and the sorted-by-name
+  // metadata block reproduce the pre-interning output byte for byte.
   std::map<std::string, int> tids;
-  auto tid_of = [&](const std::string& track) {
-    auto [it, inserted] = tids.emplace(track, static_cast<int>(tids.size()) + 1);
+  auto tid_of = [&](StrId track) {
+    auto [it, inserted] =
+        tids.emplace(strings_[track], static_cast<int>(tids.size()) + 1);
     return it->second;
   };
 
@@ -61,20 +86,22 @@ std::string Trace::to_json() const {
         std::snprintf(buf, sizeof buf,
                       "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
                       "\"ts\":%.3f,\"dur\":%.3f},\n",
-                      escape(e.name).c_str(), tid_of(e.track), ts, dur);
+                      escape(strings_[e.name]).c_str(), tid_of(e.track), ts,
+                      dur);
         break;
       }
       case Kind::kInstant:
         std::snprintf(buf, sizeof buf,
                       "{\"name\":\"%s\",\"ph\":\"i\",\"pid\":1,\"tid\":%d,"
                       "\"ts\":%.3f,\"s\":\"t\"},\n",
-                      escape(e.name).c_str(), tid_of(e.track), ts);
+                      escape(strings_[e.name]).c_str(), tid_of(e.track), ts);
         break;
       case Kind::kCounter:
         std::snprintf(buf, sizeof buf,
                       "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":1,\"tid\":%d,"
                       "\"ts\":%.3f,\"args\":{\"value\":%g}},\n",
-                      escape(e.name).c_str(), tid_of(e.track), ts, e.value);
+                      escape(strings_[e.name]).c_str(), tid_of(e.track), ts,
+                      e.value);
         break;
     }
     out += buf;

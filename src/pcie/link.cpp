@@ -7,26 +7,57 @@
 
 namespace tca::pcie {
 
-double LinkConfig::raw_bytes_per_sec() const {
-  if (custom_bytes_per_sec > 0) return custom_bytes_per_sec;
-  // Per-lane byte rates after line encoding:
-  //   Gen1: 2.5 GT/s * 8/10 = 250 MB/s   Gen2: 5 GT/s * 8/10 = 500 MB/s
-  //   Gen3: 8 GT/s * 128/130 = 984.6 MB/s
-  double per_lane = 0.0;
-  switch (gen) {
-    case 1: per_lane = 250e6; break;
-    case 2: per_lane = 500e6; break;
-    case 3: per_lane = 8e9 * 128.0 / 130.0 / 8.0; break;
-    default: TCA_ASSERT(false && "unsupported PCIe generation");
+// The serializer/replay completions below capture [this, Tlp]; they must fit
+// EventFn's inline buffer so steady-state transmission never heap-allocates.
+static_assert(sizeof(Tlp) + sizeof(LinkPort*) <= sim::EventFn::kInlineBytes,
+              "LinkPort transmit captures must stay inline in EventFn");
+
+void LinkConfig::seal() const {
+  double raw = custom_bytes_per_sec;
+  if (raw <= 0) {
+    // Per-lane byte rates after line encoding:
+    //   Gen1: 2.5 GT/s * 8/10 = 250 MB/s   Gen2: 5 GT/s * 8/10 = 500 MB/s
+    //   Gen3: 8 GT/s * 128/130 = 984.6 MB/s
+    double per_lane = 0.0;
+    switch (gen) {
+      case 1: per_lane = 250e6; break;
+      case 2: per_lane = 500e6; break;
+      case 3: per_lane = 8e9 * 128.0 / 130.0 / 8.0; break;
+      default: TCA_ASSERT(false && "unsupported PCIe generation");
+    }
+    raw = per_lane * lanes;
   }
-  return per_lane * lanes;
+  rate_cache_.raw_bytes_per_sec = raw;
+  rate_cache_.ps_per_byte = 1e12 / raw;
+  rate_cache_.gen = gen;
+  rate_cache_.lanes = lanes;
+  rate_cache_.custom_bytes_per_sec = custom_bytes_per_sec;
 }
 
-double LinkConfig::ps_per_byte() const { return 1e12 / raw_bytes_per_sec(); }
+void LinkConfig::seal_check() const {
+  if (rate_cache_.ps_per_byte == 0) {
+    seal();
+    return;
+  }
+  TCA_ASSERT(rate_cache_.gen == gen && rate_cache_.lanes == lanes &&
+             rate_cache_.custom_bytes_per_sec == custom_bytes_per_sec &&
+             "LinkConfig rate parameters mutated after first use");
+}
+
+double LinkConfig::raw_bytes_per_sec() const {
+  seal_check();
+  return rate_cache_.raw_bytes_per_sec;
+}
+
+double LinkConfig::ps_per_byte() const {
+  seal_check();
+  return rate_cache_.ps_per_byte;
+}
 
 TimePs LinkConfig::serialize_ps(std::uint64_t wire_bytes) const {
-  return static_cast<TimePs>(
-      std::llround(static_cast<double>(wire_bytes) * ps_per_byte()));
+  seal_check();
+  return static_cast<TimePs>(std::llround(static_cast<double>(wire_bytes) *
+                                          rate_cache_.ps_per_byte));
 }
 
 bool LinkPort::can_send(const Tlp& tlp) const {

@@ -50,8 +50,29 @@ struct LinkConfig {
   /// Picoseconds to place one byte on the wire.
   [[nodiscard]] double ps_per_byte() const;
 
-  /// Serialization time for a whole TLP.
+  /// Serialization time for a whole TLP. Hot path: called once or twice per
+  /// TLP, so the rate is computed once and sealed (see RateCache) rather
+  /// than re-derived from gen/lanes with a switch + divide per call.
   [[nodiscard]] TimePs serialize_ps(std::uint64_t wire_bytes) const;
+
+  /// Rate cache, sealed on first rate query. Public only because LinkConfig
+  /// must stay an aggregate (designated initializers at every call site);
+  /// treat as internal and never set it. The sealed copies of the rate
+  /// parameters let seal_check() assert the config is immutable after first
+  /// use — mutating gen/lanes/custom_bytes_per_sec once traffic has flowed
+  /// would silently desynchronize every cached timing.
+  struct RateCache {
+    double ps_per_byte = 0;  ///< 0 = not sealed yet
+    double raw_bytes_per_sec = 0;
+    int gen = 0;
+    int lanes = 0;
+    double custom_bytes_per_sec = 0;
+  };
+  mutable RateCache rate_cache_;
+
+ private:
+  void seal() const;
+  void seal_check() const;
 };
 
 class LinkPort;

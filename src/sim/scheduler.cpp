@@ -1,41 +1,55 @@
 #include "sim/scheduler.h"
 
+#include <cstdlib>
 #include <utility>
-
-#include "common/error.h"
-#include "common/log.h"
 
 namespace tca::sim {
 
-Scheduler::EventId Scheduler::schedule_at(TimePs t, std::function<void()> fn) {
+Scheduler::QueueImpl Scheduler::default_impl() {
+  static const bool baseline = [] {
+    const char* v = std::getenv("TCA_SCHED_BASELINE");
+    return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+  }();
+  return baseline ? QueueImpl::kBaseline : QueueImpl::kIndexed;
+}
+
+void Scheduler::run_until(TimePs t) {
+  TCA_ASSERT(t >= now_);
+  while (run_one(t)) {
+  }
+  now_ = t;
+  Log::set_now(now_);
+}
+
+// --- Baseline (seed) backend ----------------------------------------------
+
+Scheduler::EventId Scheduler::schedule_baseline(TimePs t,
+                                                std::function<void()> fn) {
   TCA_ASSERT(t >= now_);
   TCA_ASSERT(fn != nullptr);
-  const EventId id = next_id_++;
-  queue_.push(Entry{t, id, std::move(fn)});
+  const EventId id = b_next_id_++;
+  b_queue_.push(BaselineEntry{t, id, std::move(fn)});
   return id;
 }
 
-Scheduler::EventId Scheduler::schedule_after(TimePs delay,
-                                             std::function<void()> fn) {
-  TCA_ASSERT(delay >= 0);
-  return schedule_at(now_ + delay, std::move(fn));
+bool Scheduler::cancel_baseline(EventId id) {
+  if (id == kInvalidEvent || id >= b_next_id_) return false;
+  // Seed semantics: mark-and-skip tombstones; the set is consulted by a hash
+  // lookup on every pop.
+  return b_cancelled_.insert(id).second;
 }
 
-bool Scheduler::cancel(EventId id) {
-  if (id == kInvalidEvent || id >= next_id_) return false;
-  // We cannot remove from the middle of a priority_queue; mark instead and
-  // skip on pop. The set stays small because ids are erased when popped.
-  return cancelled_.insert(id).second;
-}
-
-bool Scheduler::pop_and_run() {
-  while (!queue_.empty()) {
-    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
-    queue_.pop();
-    if (auto it = cancelled_.find(entry.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
+bool Scheduler::run_one_baseline(TimePs limit) {
+  while (!b_queue_.empty()) {
+    const BaselineEntry& top = b_queue_.top();
+    if (auto it = b_cancelled_.find(top.id); it != b_cancelled_.end()) {
+      b_cancelled_.erase(it);
+      b_queue_.pop();
       continue;
     }
+    if (top.time > limit) return false;
+    BaselineEntry entry = std::move(const_cast<BaselineEntry&>(top));
+    b_queue_.pop();
     TCA_ASSERT(entry.time >= now_);
     now_ = entry.time;
     Log::set_now(now_);
@@ -44,29 +58,6 @@ bool Scheduler::pop_and_run() {
     return true;
   }
   return false;
-}
-
-bool Scheduler::step() { return pop_and_run(); }
-
-void Scheduler::run() {
-  while (pop_and_run()) {
-  }
-}
-
-void Scheduler::run_until(TimePs t) {
-  TCA_ASSERT(t >= now_);
-  while (!queue_.empty()) {
-    const Entry& top = queue_.top();
-    if (cancelled_.count(top.id) != 0) {
-      cancelled_.erase(top.id);
-      queue_.pop();
-      continue;
-    }
-    if (top.time > t) break;
-    pop_and_run();
-  }
-  now_ = t;
-  Log::set_now(now_);
 }
 
 }  // namespace tca::sim
