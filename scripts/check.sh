@@ -19,4 +19,28 @@ ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
 echo "== bench_sim_core smoke =="
 "$BUILD"/bench/bench_sim_core --smoke
 
+echo "== tca_explore --stats smoke =="
+METRICS_JSON=$(mktemp)
+trap 'rm -f "$METRICS_JSON"' EXIT
+"$BUILD"/tools/tca_explore --nodes 4 --op pipelined --target remote-host \
+  --dest 2 --burst 8 --sizes 4096 --stats-out "$METRICS_JSON"
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$METRICS_JSON" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for key in ("meta", "counters", "gauges", "histograms"):
+    assert key in doc, f"metrics JSON missing top-level key: {key}"
+assert doc["meta"].get("schema") == "tca-metrics-v1", "unknown metrics schema"
+assert doc["counters"].get("fabric.payload_bytes", 0) > 0, \
+    "no payload crossed the fabric"
+print(f"metrics JSON OK ({len(doc['counters'])} counters)")
+EOF
+else
+  # No python3: at least require the schema marker and a fabric counter.
+  grep -q '"schema": "tca-metrics-v1"' "$METRICS_JSON"
+  grep -q '"fabric.payload_bytes"' "$METRICS_JSON"
+  echo "metrics JSON OK (grep fallback)"
+fi
+
 echo "check.sh: OK"

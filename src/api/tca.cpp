@@ -8,13 +8,52 @@ using peach2::DmaDescriptor;
 using peach2::DmaDirection;
 using peach2::TcaTarget;
 
+Status Runtime::validate_config(const TcaConfig& config) {
+  // Node count: the sub-cluster layout rules (power of two, <= 16 nodes)
+  // come from the address-window partitioning — reuse that validation.
+  auto layout = peach2::TcaLayout::create(
+      calib::kTcaWindowBase, calib::kTcaWindowBytes, config.node_count);
+  if (!layout.is_ok()) return layout.status();
+  if (config.node_count < 2) {
+    return {ErrorCode::kInvalidArgument,
+            "a sub-cluster needs at least 2 nodes"};
+  }
+  if (config.topology == fabric::Topology::kDualRing &&
+      config.node_count < 4) {
+    return {ErrorCode::kInvalidArgument,
+            "dual-ring topology needs at least 4 nodes (two rings of 2)"};
+  }
+  if (config.node_config.gpu_count < 1 || config.node_config.gpu_count > 4) {
+    return {ErrorCode::kInvalidArgument,
+            "per-node GPU count must be 1..4 (two per socket)"};
+  }
+  // The driver carves its descriptor table out of the last megabyte of host
+  // DRAM (DriverHostLayout); anything smaller cannot hold a DMA buffer.
+  if (config.node_config.host_backing_bytes <= 2ull << 20) {
+    return {ErrorCode::kInvalidArgument,
+            "host backing store must exceed 2 MiB (descriptor table + DMA "
+            "buffer)"};
+  }
+  if (config.node_config.gpu_backing_bytes == 0) {
+    return {ErrorCode::kInvalidArgument, "GPU backing store must be > 0"};
+  }
+  return Status::ok();
+}
+
+Result<Runtime> Runtime::create(sim::Scheduler& sched,
+                                const TcaConfig& config) {
+  if (Status st = validate_config(config); !st.is_ok()) return st;
+  return Runtime(sched, config);
+}
+
 Runtime::Runtime(sim::Scheduler& sched, const TcaConfig& config)
     : sched_(sched),
-      cluster_(sched, fabric::SubClusterConfig{
-                          .node_count = config.node_count,
-                          .topology = config.topology,
-                          .node_config = config.node_config,
-                      }),
+      cluster_((TCA_ASSERT(validate_config(config).is_ok()), sched),
+               fabric::SubClusterConfig{
+                   .node_count = config.node_count,
+                   .topology = config.topology,
+                   .node_config = config.node_config,
+               }),
       host_alloc_cursor_(config.node_count, 0) {}
 
 Result<Buffer> Runtime::alloc_host(std::uint32_t node, std::uint64_t bytes) {
@@ -80,7 +119,7 @@ void Runtime::write(const Buffer& buf, std::uint64_t offset,
   if (buf.is_host()) {
     n.host_dram().write(buf.block_offset + offset, data);
   } else {
-    n.gpu(buf.gpu_index()).poke(buf.block_offset + offset, data);
+    n.gpu(*buf.gpu_index()).poke(buf.block_offset + offset, data);
   }
 }
 
@@ -94,7 +133,7 @@ void Runtime::read(const Buffer& buf, std::uint64_t offset,
   if (buf.is_host()) {
     n.host_dram().read(buf.block_offset + offset, out);
   } else {
-    n.gpu(buf.gpu_index()).peek(buf.block_offset + offset, out);
+    n.gpu(*buf.gpu_index()).peek(buf.block_offset + offset, out);
   }
 }
 
@@ -105,15 +144,23 @@ sim::Task<Status> Runtime::memcpy_peer(Buffer dst, std::uint64_t dst_off,
   if (Status st = validate(src, src_off, bytes); !st.is_ok()) co_return st;
   if (bytes == 0) co_return Status::ok();
 
+  ++metrics_.memcpy_ops;
+  metrics_.memcpy_bytes += bytes;
+  const TimePs t0 = sched_.now();
   driver::Peach2Driver& drv = cluster_.driver(src.node);
 
   // Short host-sourced messages: PIO store through the mmapped window.
   if (src.is_host() && bytes <= kPioThreshold) {
+    ++metrics_.pio_ops;
     std::vector<std::byte> staged(bytes);
     read(src, src_off, staged);
     co_await drv.pio_store(global_addr(dst, dst_off), staged);
+    if (obs::sampling_enabled()) {
+      metrics_.memcpy_latency_ps.add_time(sched_.now() - t0);
+    }
     co_return Status::ok();
   }
+  ++metrics_.dma_ops;
 
   // Everything else: one pipelined DMA descriptor driven by the source
   // node's PEACH2 (local source requirement == put-only fabric). Channels
@@ -124,7 +171,11 @@ sim::Task<Status> Runtime::memcpy_peer(Buffer dst, std::uint64_t dst_off,
                     .dst = global_addr(dst, dst_off),
                     .length = static_cast<std::uint32_t>(bytes),
                     .direction = DmaDirection::kPipelined}};
-  co_return co_await drv.run_chain_checked(std::move(chain));
+  const Status st = co_await drv.run_chain_checked(std::move(chain));
+  if (obs::sampling_enabled()) {
+    metrics_.memcpy_latency_ps.add_time(sched_.now() - t0);
+  }
+  co_return st;
 }
 
 sim::Task<Status> Runtime::memcpy_peer_batch(std::uint32_t driving_node,
@@ -154,6 +205,8 @@ sim::Task<Status> Runtime::memcpy_peer_batch(std::uint32_t driving_node,
                       .length = static_cast<std::uint32_t>(op.bytes),
                       .direction = DmaDirection::kPipelined});
   }
+  ++metrics_.batches;
+  metrics_.batch_ops += ops.size();
   co_return co_await cluster_.driver(driving_node).run_chain_checked(
       std::move(chain));
 }
@@ -183,8 +236,26 @@ sim::Task<Status> Runtime::memcpy_block_stride(
                       .length = static_cast<std::uint32_t>(block_bytes),
                       .direction = DmaDirection::kPipelined});
   }
+  ++metrics_.block_stride_ops;
   co_return co_await cluster_.driver(src.node).run_chain_checked(
       std::move(chain));
+}
+
+void Runtime::export_metrics(obs::MetricRegistry& reg) const {
+  reg.counter("api.memcpy.ops").set(metrics_.memcpy_ops);
+  reg.counter("api.memcpy.bytes").set(metrics_.memcpy_bytes);
+  reg.counter("api.memcpy.pio_ops").set(metrics_.pio_ops);
+  reg.counter("api.memcpy.dma_ops").set(metrics_.dma_ops);
+  reg.counter("api.batch.calls").set(metrics_.batches);
+  reg.counter("api.batch.ops").set(metrics_.batch_ops);
+  reg.counter("api.block_stride.calls").set(metrics_.block_stride_ops);
+  reg.counter("api.notify.ops").set(metrics_.notify_ops);
+  reg.counter("api.wait_flag.ops").set(metrics_.wait_flag_ops);
+  if (!metrics_.memcpy_latency_ps.empty()) {
+    reg.histogram("api.memcpy.latency_ps")
+        .record_series(metrics_.memcpy_latency_ps);
+  }
+  cluster_.export_metrics(reg);
 }
 
 Status Stream::enqueue_copy(Buffer dst, std::uint64_t dst_off, Buffer src,
@@ -200,24 +271,52 @@ Status Stream::enqueue_copy(Buffer dst, std::uint64_t dst_off, Buffer src,
   return Status::ok();
 }
 
-sim::Task<Status> Stream::synchronize() {
-  if (ops_.empty()) co_return Status::ok();
+Status Stream::enqueue_block_stride(Buffer dst, std::uint64_t dst_off,
+                                    std::uint64_t dst_stride, Buffer src,
+                                    std::uint64_t src_off,
+                                    std::uint64_t src_stride,
+                                    std::uint64_t block_bytes,
+                                    std::uint32_t count) {
+  if (count == 0 || block_bytes == 0) return Status::ok();
+  const std::uint64_t src_extent =
+      src_off + (count - 1) * src_stride + block_bytes;
+  const std::uint64_t dst_extent =
+      dst_off + (count - 1) * dst_stride + block_bytes;
+  if (Status st = rt_.validate(src, 0, src_extent); !st.is_ok()) return st;
+  if (Status st = rt_.validate(dst, 0, dst_extent); !st.is_ok()) return st;
+
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ops_.push_back(Runtime::CopyOp{.dst = dst,
+                                   .dst_off = dst_off + i * dst_stride,
+                                   .src = src,
+                                   .src_off = src_off + i * src_stride,
+                                   .bytes = block_bytes});
+  }
+  return Status::ok();
+}
+
+sim::Task<SyncReport> Stream::synchronize() {
+  SyncReport report;
+  if (ops_.empty()) co_return report;
   std::vector<Runtime::CopyOp> ops = std::move(ops_);
   ops_.clear();
 
-  // Group by source node, preserving enqueue order within each group.
-  std::vector<std::vector<Runtime::CopyOp>> by_node(rt_.node_count());
-  for (Runtime::CopyOp& op : ops) {
-    by_node[op.src.node].push_back(std::move(op));
+  // Group by source node, preserving enqueue order within each group and
+  // remembering every op's enqueue index so outcomes can be attributed.
+  struct IndexedOp {
+    std::size_t index;
+    Runtime::CopyOp op;
+  };
+  std::vector<std::vector<IndexedOp>> by_node(rt_.node_count());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    by_node[ops[i].src.node].push_back(IndexedOp{i, std::move(ops[i])});
   }
 
   // One batch per source node, all nodes concurrently. A group larger than
-  // the descriptor-chain capacity splits into consecutive batches.
-  struct GroupState {
-    Status status;
-    bool done = false;
-  };
-  std::vector<GroupState> states(rt_.node_count());
+  // the descriptor-chain capacity splits into consecutive batches. Each
+  // group coroutine writes only its own ops' slots in op_status (disjoint
+  // index sets), so no synchronization is needed beyond the trigger.
+  std::vector<Status> op_status(ops.size());
   sim::Trigger all_done(rt_.sched_);
   std::size_t remaining = 0;
   for (std::uint32_t n = 0; n < rt_.node_count(); ++n) {
@@ -228,36 +327,53 @@ sim::Task<Status> Stream::synchronize() {
   for (std::uint32_t n = 0; n < rt_.node_count(); ++n) {
     if (by_node[n].empty()) continue;
     sim::spawn([](Runtime& rt, std::uint32_t node,
-                  std::vector<Runtime::CopyOp> group, GroupState& state,
+                  std::vector<IndexedOp> group, std::vector<Status>& statuses,
                   std::size_t& left, sim::Trigger& done) -> sim::Task<> {
       Status status = Status::ok();
       std::size_t i = 0;
-      while (i < group.size() && status.is_ok()) {
+      while (i < group.size()) {
+        if (!status.is_ok()) {
+          // An earlier batch failed; the chain for these ops never ran.
+          for (; i < group.size(); ++i) {
+            statuses[group[i].index] =
+                Status{ErrorCode::kAborted,
+                       "not attempted: earlier batch on this node failed"};
+          }
+          break;
+        }
         const std::size_t count = std::min<std::size_t>(
             group.size() - i, calib::kMaxDescriptors);
-        std::vector<Runtime::CopyOp> batch(
-            group.begin() + static_cast<std::ptrdiff_t>(i),
-            group.begin() + static_cast<std::ptrdiff_t>(i + count));
+        std::vector<Runtime::CopyOp> batch;
+        batch.reserve(count);
+        for (std::size_t j = i; j < i + count; ++j) {
+          batch.push_back(group[j].op);
+        }
         status = co_await rt.memcpy_peer_batch(node, std::move(batch));
+        for (std::size_t j = i; j < i + count; ++j) {
+          statuses[group[j].index] = status;
+        }
         i += count;
       }
-      state.status = status;
-      state.done = true;
       if (--left == 0) done.fire();
-    }(rt_, n, std::move(by_node[n]), states[n], remaining, all_done));
+    }(rt_, n, std::move(by_node[n]), op_status, remaining, all_done));
   }
   if (total_groups > 0) co_await all_done.wait();
 
-  for (const GroupState& state : states) {
-    if (state.done && !state.status.is_ok()) co_return state.status;
+  report.ops.reserve(op_status.size());
+  for (std::size_t i = 0; i < op_status.size(); ++i) {
+    if (!op_status[i].is_ok() && report.status.is_ok()) {
+      report.status = op_status[i];
+    }
+    report.ops.push_back(SyncReport::OpStatus{i, std::move(op_status[i])});
   }
-  co_return Status::ok();
+  co_return report;
 }
 
 sim::Task<> Runtime::notify(std::uint32_t from_node, const Buffer& host_flag,
                             std::uint64_t offset, std::uint32_t value) {
   TCA_ASSERT(host_flag.is_host());
   TCA_ASSERT(validate(host_flag, offset, 4).is_ok());
+  ++metrics_.notify_ops;
   co_await cluster_.driver(from_node).pio_store_u32(
       global_addr(host_flag, offset), value);
 }
@@ -265,6 +381,7 @@ sim::Task<> Runtime::notify(std::uint32_t from_node, const Buffer& host_flag,
 sim::Task<> Runtime::wait_flag(const Buffer& host_flag, std::uint64_t offset,
                                std::uint32_t expected) {
   TCA_ASSERT(host_flag.is_host());
+  ++metrics_.wait_flag_ops;
   for (;;) {
     std::uint32_t now_value = 0;
     read(host_flag, offset,

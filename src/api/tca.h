@@ -14,10 +14,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "fabric/sub_cluster.h"
+#include "obs/metrics.h"
 #include "peach2/tca_layout.h"
 #include "sim/task.h"
 
@@ -46,13 +48,47 @@ struct Buffer {
   [[nodiscard]] bool is_host() const {
     return target == peach2::TcaTarget::kHost;
   }
-  [[nodiscard]] int gpu_index() const {
-    return target == peach2::TcaTarget::kGpu0 ? 0 : 1;
+  /// GPU ordinal for GPU-backed buffers; nullopt for host (and internal)
+  /// targets. Callers must check — a host buffer has no GPU index.
+  [[nodiscard]] std::optional<int> gpu_index() const {
+    if (target == peach2::TcaTarget::kGpu0) return 0;
+    if (target == peach2::TcaTarget::kGpu1) return 1;
+    return std::nullopt;
   }
+};
+
+/// Per-call counters the Runtime keeps about its own API surface: operation
+/// mix, the PIO-vs-DMA policy split, and (while obs::sampling_enabled())
+/// end-to-end memcpy latency samples.
+struct ApiMetrics {
+  std::uint64_t memcpy_ops = 0;
+  std::uint64_t memcpy_bytes = 0;
+  std::uint64_t pio_ops = 0;  ///< memcpy_peer calls routed to PIO
+  std::uint64_t dma_ops = 0;  ///< memcpy_peer calls routed to DMA
+  std::uint64_t batches = 0;
+  std::uint64_t batch_ops = 0;
+  std::uint64_t block_stride_ops = 0;
+  std::uint64_t notify_ops = 0;
+  std::uint64_t wait_flag_ops = 0;
+  SampleSeries memcpy_latency_ps;
 };
 
 class Runtime {
  public:
+  /// Validates `config` without building anything: node count must satisfy
+  /// the sub-cluster rules (power of two in [2, 16]; dual ring needs >= 4),
+  /// per-node GPU count must be 1..4, and the backing stores must be large
+  /// enough for the driver's host layout. Returns the first violation.
+  static Status validate_config(const TcaConfig& config);
+
+  /// Fallible construction: validates, then builds. Prefer this over the
+  /// constructor — an invalid config comes back as a Status instead of an
+  /// assertion failure inside the fabric builder.
+  static Result<Runtime> create(sim::Scheduler& sched,
+                                const TcaConfig& config = {});
+
+  /// Asserting construction (legacy surface); delegates to the same
+  /// validation as create() and aborts on violation.
   explicit Runtime(sim::Scheduler& sched, const TcaConfig& config = {});
 
   [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
@@ -124,6 +160,14 @@ class Runtime {
   sim::Task<> wait_flag(const Buffer& host_flag, std::uint64_t offset,
                         std::uint32_t expected);
 
+  // --- Observability -----------------------------------------------------------
+
+  [[nodiscard]] const ApiMetrics& api_metrics() const { return metrics_; }
+
+  /// Exports the API-level counters (`api.*`) plus the whole fabric's
+  /// hardware counters (see fabric::SubCluster::export_metrics) into `reg`.
+  void export_metrics(obs::MetricRegistry& reg) const;
+
  private:
   friend class Stream;
   [[nodiscard]] std::uint64_t global_addr(const Buffer& buf,
@@ -134,6 +178,25 @@ class Runtime {
   sim::Scheduler& sched_;
   fabric::SubCluster cluster_;
   std::vector<std::uint64_t> host_alloc_cursor_;
+  ApiMetrics metrics_;
+};
+
+/// Result of Stream::synchronize(): the overall status plus one entry per
+/// enqueued op (in enqueue order) saying what happened to it. When a batch
+/// fails, every op in that batch carries the batch's error and later ops in
+/// the same source-node group report kAborted (never attempted); ops in
+/// other groups are unaffected.
+struct SyncReport {
+  /// First error in enqueue order; OK when every op succeeded.
+  Status status;
+
+  struct OpStatus {
+    std::size_t index = 0;  ///< position among the enqueued ops
+    Status status;
+  };
+  std::vector<OpStatus> ops;
+
+  [[nodiscard]] bool ok() const { return status.is_ok(); }
 };
 
 /// Deferred command queue (CUDA-stream flavored).
@@ -151,10 +214,17 @@ class Stream {
   Status enqueue_copy(Buffer dst, std::uint64_t dst_off, Buffer src,
                       std::uint64_t src_off, std::uint64_t bytes);
 
+  /// Records a block-stride transfer as `count` copies (one descriptor
+  /// each), validated eagerly — parity with Runtime::memcpy_block_stride.
+  Status enqueue_block_stride(Buffer dst, std::uint64_t dst_off,
+                              std::uint64_t dst_stride, Buffer src,
+                              std::uint64_t src_off, std::uint64_t src_stride,
+                              std::uint64_t block_bytes, std::uint32_t count);
+
   [[nodiscard]] std::size_t pending() const { return ops_.size(); }
 
-  /// Executes everything recorded so far; returns the first error (if any).
-  sim::Task<Status> synchronize();
+  /// Executes everything recorded so far and reports per-op outcomes.
+  sim::Task<SyncReport> synchronize();
 
  private:
   Runtime& rt_;

@@ -13,6 +13,7 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case ErrorCode::kNotPinned: return "NOT_PINNED";
     case ErrorCode::kBusy: return "BUSY";
+    case ErrorCode::kAborted: return "ABORTED";
     case ErrorCode::kInternal: return "INTERNAL";
   }
   return "UNKNOWN";

@@ -27,6 +27,7 @@ enum class ErrorCode {
   kResourceExhausted, ///< descriptor slots, tags, buffer space
   kNotPinned,         ///< GPUDirect access to an unpinned page
   kBusy,              ///< DMA channel already active
+  kAborted,           ///< op not attempted because an earlier op failed
   kInternal,
 };
 

@@ -51,6 +51,10 @@ class SampleSeries {
   [[nodiscard]] double percentile(double p) const;
   [[nodiscard]] double median() const { return percentile(50.0); }
 
+  /// Raw samples in insertion order (may be re-sorted by percentile calls;
+  /// callers must not rely on ordering, only on the multiset of values).
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
  private:
   mutable std::vector<double> samples_;
   mutable bool sorted_ = false;

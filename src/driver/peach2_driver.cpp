@@ -4,6 +4,7 @@
 
 #include "common/log.h"
 #include "common/trace.h"
+#include "obs/metrics.h"
 
 namespace tca::driver {
 
@@ -140,6 +141,8 @@ sim::Task<TimePs> Peach2Driver::run_chain(
 
   co_await write_register(regs::dma_bank(channel, regs::kDmaBankIntAck), 1);
   dma_in_flight_[ch] = false;
+  ++chains_run_;
+  if (obs::sampling_enabled()) chain_latency_.add_time(elapsed);
   if (Trace::instance().enabled()) {
     Trace::instance().duration(
         "driver/node" + std::to_string(chip_.node_id()),
@@ -202,6 +205,8 @@ sim::Task<TimePs> Peach2Driver::run_immediate(
 
   co_await write_register(regs::dma_bank(channel, regs::kDmaBankIntAck), 1);
   dma_in_flight_[ch] = false;
+  ++chains_run_;
+  if (obs::sampling_enabled()) chain_latency_.add_time(elapsed);
   co_return elapsed;
 }
 
@@ -235,6 +240,8 @@ sim::Task<TimePs> Peach2Driver::run_chain_polled(
   co_await write_register(regs::dma_bank(channel, regs::kDmaBankWriteback),
                           0);
   dma_in_flight_[ch] = false;
+  ++chains_run_;
+  if (obs::sampling_enabled()) chain_latency_.add_time(elapsed);
   co_return elapsed;
 }
 
@@ -242,6 +249,8 @@ sim::Task<> Peach2Driver::pio_store(std::uint64_t global_addr,
                                     std::span<const std::byte> data) {
   // The window is mmapped into user space; a store is an ordinary MMIO
   // write whose bus address equals the global TCA address.
+  ++pio_stores_;
+  pio_bytes_ += data.size();
   co_await node_.cpu().mmio_store(global_addr, data);
 }
 

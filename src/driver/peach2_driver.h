@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "calib/calibration.h"
+#include "common/stats.h"
 #include "gpu/gpu_device.h"
 #include "node/compute_node.h"
 #include "peach2/chip.h"
@@ -133,6 +134,17 @@ class Peach2Driver {
   /// Global TCA address inside this chip's internal RAM.
   [[nodiscard]] std::uint64_t internal_global(std::uint64_t offset) const;
 
+  // --- Statistics -------------------------------------------------------------
+  /// DMA chains completed through this driver (any completion mode).
+  [[nodiscard]] std::uint64_t chains_run() const { return chains_run_; }
+  [[nodiscard]] std::uint64_t pio_stores() const { return pio_stores_; }
+  [[nodiscard]] std::uint64_t pio_bytes() const { return pio_bytes_; }
+  /// Doorbell-to-interrupt latency samples (the paper's TSC measurement);
+  /// recorded only while obs::sampling_enabled().
+  [[nodiscard]] const SampleSeries& chain_latency_ps() const {
+    return chain_latency_;
+  }
+
  private:
   /// Per-channel slice of the descriptor-table region; the completion
   /// writeback word sits at the slice's tail.
@@ -150,6 +162,11 @@ class Peach2Driver {
   std::array<bool, 4> dma_in_flight_{};
   sim::Semaphore channel_sem_;
   std::vector<int> free_channels_;
+
+  std::uint64_t chains_run_ = 0;
+  std::uint64_t pio_stores_ = 0;
+  std::uint64_t pio_bytes_ = 0;
+  SampleSeries chain_latency_;
 };
 
 }  // namespace tca::driver

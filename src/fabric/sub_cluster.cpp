@@ -71,6 +71,7 @@ SubCluster::SubCluster(sim::Scheduler& sched, const SubClusterConfig& config)
     for (std::uint32_t i = 0; i < half; ++i) {
       auto& cable = cables_.emplace_back(std::make_unique<pcie::PcieLink>(
           sched, cable_config(i, i + half, cfg_.cable_bit_error_rate)));
+      cable_ends_.emplace_back(i, i + half);
       chips_[i]->attach_port(PortId::kSouth, cable->end_a());
       chips_[i + half]->attach_port(PortId::kSouth, cable->end_b());
     }
@@ -89,6 +90,7 @@ void SubCluster::wire_ring(sim::Scheduler& sched, std::uint32_t first,
     const std::uint32_t j = first + (k + 1) % count;
     auto& cable = cables_.emplace_back(
         std::make_unique<pcie::PcieLink>(sched, cable_config(i, j, cfg_.cable_bit_error_rate)));
+    cable_ends_.emplace_back(i, j);
     chips_[i]->attach_port(PortId::kEast, cable->end_a());
     chips_[j]->attach_port(PortId::kWest, cable->end_b());
   }
@@ -150,48 +152,119 @@ void SubCluster::program_dual_ring_routes() {
   }
 }
 
-void SubCluster::print_stats(std::FILE* out) const {
-  std::fprintf(out, "sub-cluster statistics (%u nodes)\n", size());
+namespace {
+
+/// Exports one link direction's counters under `prefix` and accumulates the
+/// fabric roll-up.
+void export_port(obs::MetricRegistry& reg, const std::string& prefix,
+                 const pcie::LinkPort& port, std::uint64_t* roll) {
+  reg.counter(prefix + ".tlps").set(port.tlps_sent());
+  reg.counter(prefix + ".wire_bytes").set(port.wire_bytes_sent());
+  reg.counter(prefix + ".payload_bytes").set(port.payload_bytes_sent());
+  reg.counter(prefix + ".replays").set(port.replays());
+  reg.counter(prefix + ".credit_stall_ps")
+      .set(static_cast<std::uint64_t>(port.credit_stall_ps()));
+  roll[0] += port.tlps_sent();
+  roll[1] += port.wire_bytes_sent();
+  roll[2] += port.payload_bytes_sent();
+  roll[3] += port.replays();
+  roll[4] += static_cast<std::uint64_t>(port.credit_stall_ps());
+}
+
+}  // namespace
+
+void SubCluster::export_metrics(obs::MetricRegistry& reg) const {
+  reg.gauge("fabric.node_count").set(size());
+  reg.gauge("fabric.cable_count").set(static_cast<double>(cables_.size()));
+
+  // Inter-node cables. "fwd" is the end_a -> end_b direction, which by
+  // wiring convention is `from` -> `to` of cable_nodes().
+  std::uint64_t link_roll[5] = {};  // tlps, wire, payload, replays, stall_ps
+  for (std::size_t k = 0; k < cables_.size(); ++k) {
+    const auto [from, to] = cable_ends_[k];
+    const std::string base = "pcie.cable." + std::to_string(from) + "-" +
+                             std::to_string(to);
+    export_port(reg, base + ".fwd", cables_[k]->end_a(), link_roll);
+    export_port(reg, base + ".rev", cables_[k]->end_b(), link_roll);
+  }
+  reg.counter("fabric.tlps").set(link_roll[0]);
+  reg.counter("fabric.wire_bytes").set(link_roll[1]);
+  reg.counter("fabric.payload_bytes").set(link_roll[2]);
+  reg.counter("fabric.replays").set(link_roll[3]);
+  reg.counter("fabric.credit_stall_ps").set(link_roll[4]);
+
+  std::uint64_t forwarded = 0, dropped = 0, unroutable = 0;
+  std::uint64_t dma_chains = 0, dma_written = 0, dma_read = 0, dma_errors = 0;
+  static constexpr const char* kPortNames[peach2::kPortCount] = {"n", "e", "w",
+                                                                 "s"};
   for (std::uint32_t i = 0; i < size(); ++i) {
+    const std::string n = "node" + std::to_string(i);
     const Peach2Chip& chip = *chips_[i];
-    std::fprintf(out,
-                 "  chip %u: forwarded=%llu dropped=%llu acks_sent=%llu "
-                 "mailbox=%llu\n",
-                 i, static_cast<unsigned long long>(chip.forwarded_tlps()),
-                 static_cast<unsigned long long>(chip.dropped_tlps()),
-                 static_cast<unsigned long long>(chip.acks_sent()),
-                 static_cast<unsigned long long>(chip.mailbox_count()));
+    reg.counter(n + ".peach2.router.forwarded").set(chip.forwarded_tlps());
+    reg.counter(n + ".peach2.router.dropped").set(chip.dropped_tlps());
+    reg.counter(n + ".peach2.router.unroutable").set(chip.unroutable_tlps());
+    reg.counter(n + ".peach2.router.acks_sent").set(chip.acks_sent());
+    reg.counter(n + ".peach2.router.mailbox").set(chip.mailbox_count());
+    forwarded += chip.forwarded_tlps();
+    dropped += chip.dropped_tlps();
+    unroutable += chip.unroutable_tlps();
+    for (std::size_t p = 0; p < peach2::kPortCount; ++p) {
+      reg.counter(n + ".peach2.port." + kPortNames[p] + ".forwards")
+          .set(chip.port_forwards(static_cast<PortId>(p)));
+    }
+
     auto& mutable_chip = *chips_[i];  // dmac() is non-const
     for (int ch = 0; ch < calib::kDmaChannels; ++ch) {
       const auto& d = mutable_chip.dmac(ch);
-      if (d.chains_completed() == 0 && d.errors() == 0) continue;
-      std::fprintf(
-          out,
-          "    dma ch%d: chains=%llu descs=%llu wr=%llu rd=%llu err=%llu\n",
-          ch, static_cast<unsigned long long>(d.chains_completed()),
-          static_cast<unsigned long long>(d.descriptors_completed()),
-          static_cast<unsigned long long>(d.bytes_written()),
-          static_cast<unsigned long long>(d.bytes_read()),
-          static_cast<unsigned long long>(d.errors()));
+      const std::string c = n + ".peach2.dmac.ch" + std::to_string(ch);
+      reg.counter(c + ".chains").set(d.chains_completed());
+      reg.counter(c + ".descriptors").set(d.descriptors_completed());
+      reg.counter(c + ".bytes_written").set(d.bytes_written());
+      reg.counter(c + ".bytes_read").set(d.bytes_read());
+      reg.counter(c + ".errors").set(d.errors());
+      reg.counter(c + ".doorbells").set(d.doorbells());
+      reg.counter(c + ".table_fetches").set(d.table_fetches());
+      reg.counter(c + ".interrupts").set(d.interrupts());
+      dma_chains += d.chains_completed();
+      dma_written += d.bytes_written();
+      dma_read += d.bytes_read();
+      dma_errors += d.errors();
     }
+
+    const auto& drv = *drivers_[i];
+    reg.counter(n + ".driver.chains").set(drv.chains_run());
+    reg.counter(n + ".driver.pio_stores").set(drv.pio_stores());
+    reg.counter(n + ".driver.pio_bytes").set(drv.pio_bytes());
+    if (!drv.chain_latency_ps().empty()) {
+      reg.histogram(n + ".driver.chain_latency_ps")
+          .record_series(drv.chain_latency_ps());
+    }
+
     auto& node_ref = *nodes_[i];
-    std::fprintf(
-        out, "    host: written=%llu read=%llu unroutable=%llu+%llu\n",
-        static_cast<unsigned long long>(
-            node_ref.socket(0).host_bytes_written()),
-        static_cast<unsigned long long>(node_ref.socket(0).host_bytes_read()),
-        static_cast<unsigned long long>(node_ref.socket(0).unroutable_tlps()),
-        static_cast<unsigned long long>(
-            node_ref.socket(1).unroutable_tlps()));
+    reg.counter(n + ".cpu.poll_iterations")
+        .set(node_ref.cpu().poll_iterations());
+    reg.counter(n + ".host.bytes_written")
+        .set(node_ref.socket(0).host_bytes_written());
+    reg.counter(n + ".host.bytes_read")
+        .set(node_ref.socket(0).host_bytes_read());
+    reg.counter(n + ".host.unroutable")
+        .set(node_ref.socket(0).unroutable_tlps() +
+             node_ref.socket(1).unroutable_tlps());
     for (int g = 0; g < node_ref.gpu_count(); ++g) {
       const auto& gpu = node_ref.gpu(g);
-      if (gpu.writes_received() == 0 && gpu.reads_received() == 0) continue;
-      std::fprintf(out, "    gpu%d: writes=%llu reads=%llu errors=%llu\n", g,
-                   static_cast<unsigned long long>(gpu.writes_received()),
-                   static_cast<unsigned long long>(gpu.reads_received()),
-                   static_cast<unsigned long long>(gpu.access_errors()));
+      const std::string gp = n + ".gpu" + std::to_string(g);
+      reg.counter(gp + ".writes").set(gpu.writes_received());
+      reg.counter(gp + ".reads").set(gpu.reads_received());
+      reg.counter(gp + ".errors").set(gpu.access_errors());
     }
   }
+  reg.counter("fabric.forwarded").set(forwarded);
+  reg.counter("fabric.dropped").set(dropped);
+  reg.counter("fabric.unroutable").set(unroutable);
+  reg.counter("fabric.dma.chains").set(dma_chains);
+  reg.counter("fabric.dma.bytes_written").set(dma_written);
+  reg.counter("fabric.dma.bytes_read").set(dma_read);
+  reg.counter("fabric.dma.errors").set(dma_errors);
 }
 
 std::uint32_t SubCluster::ring_hops(std::uint32_t from,

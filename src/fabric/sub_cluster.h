@@ -9,11 +9,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "calib/calibration.h"
 #include "driver/peach2_driver.h"
 #include "node/compute_node.h"
+#include "obs/metrics.h"
 #include "peach2/chip.h"
 #include "peach2/tca_layout.h"
 #include "pcie/link.h"
@@ -86,9 +88,24 @@ class SubCluster {
     for (auto& cable : cables_) cable->set_up(up);
   }
 
-  /// Dumps per-chip / per-channel / per-node counters (diagnostics; used by
-  /// tca_explore --stats).
-  void print_stats(std::FILE* out = stdout) const;
+  /// Exports every hardware counter in the fabric into `reg` under
+  /// hierarchical names: per-cable link stats (`pcie.cable.<a>-<b>.fwd.*`,
+  /// forward = end_a->end_b), per-node chip/DMAC/driver/CPU/host/GPU stats
+  /// (`node<i>.peach2.dmac.ch<c>.*`, ...), and fabric-level roll-ups
+  /// (`fabric.*`). This is the structured replacement for the old printf
+  /// stats dump; serialize with MetricRegistry::to_json().
+  void export_metrics(obs::MetricRegistry& reg) const;
+
+  /// Number of inter-node cables (ring + optional South cross-links).
+  [[nodiscard]] std::size_t cable_count() const { return cables_.size(); }
+  /// Cable `k` and the (from, to) node pair it connects; end_a is `from`.
+  [[nodiscard]] const pcie::PcieLink& cable(std::size_t k) const {
+    return *cables_.at(k);
+  }
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> cable_nodes(
+      std::size_t k) const {
+    return cable_ends_.at(k);
+  }
 
  private:
   void wire_ring(sim::Scheduler& sched, std::uint32_t first,
@@ -102,6 +119,8 @@ class SubCluster {
   std::vector<std::unique_ptr<peach2::Peach2Chip>> chips_;
   std::vector<std::unique_ptr<driver::Peach2Driver>> drivers_;
   std::vector<std::unique_ptr<pcie::PcieLink>> cables_;
+  /// (from, to) node ids per cable, parallel to cables_; end_a is `from`.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> cable_ends_;
 };
 
 }  // namespace tca::fabric

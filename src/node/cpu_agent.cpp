@@ -74,6 +74,7 @@ void CpuAgent::on_completion(pcie::Tlp cpl) {
 sim::Task<TimePs> CpuAgent::poll_host_until_change(std::uint64_t offset,
                                                    std::uint32_t initial) {
   for (;;) {
+    ++poll_iterations_;
     std::uint32_t now_value = 0;
     host_dram_.read(offset, std::as_writable_bytes(std::span(&now_value, 1)));
     if (now_value != initial) {

@@ -52,6 +52,12 @@ class CpuAgent {
   sim::Task<TimePs> poll_host_until_change(std::uint64_t offset,
                                            std::uint32_t initial);
 
+  /// Total polling-loop iterations across all poll_host_until_change calls
+  /// (each iteration burns kCpuPollIterationPs of CPU).
+  [[nodiscard]] std::uint64_t poll_iterations() const {
+    return poll_iterations_;
+  }
+
  private:
   void on_completion(pcie::Tlp cpl);
 
@@ -68,6 +74,7 @@ class CpuAgent {
   sim::Semaphore load_tags_;
   std::unordered_map<std::uint8_t, PendingLoad> pending_loads_;
   std::uint8_t next_tag_ = 0;
+  std::uint64_t poll_iterations_ = 0;
 };
 
 }  // namespace tca::node

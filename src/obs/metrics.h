@@ -1,0 +1,167 @@
+// Fabric-wide observability layer (`tca::obs`).
+//
+// The paper's evaluation is an exercise in observing where bytes and
+// nanoseconds go — link efficiency (Fig. 9), descriptor-fetch overhead
+// (Fig. 8), per-hop cost (Fig. 12). APEnet+ attributes its tuning wins to
+// per-port/per-channel hardware counters; this module gives the simulator
+// the same first-class metrics surface:
+//
+//  * MetricRegistry — typed counters, gauges, and latency histograms under
+//    hierarchical dotted names ("node0.peach2.dmac.ch2.descriptors"), with
+//    JSON snapshot export and chrome://tracing counter events riding the
+//    interned Trace.
+//  * A process-wide sampling gate (`sampling_enabled`) so hot paths record
+//    latency samples only when observability is on: with sampling off the
+//    simulator's per-event cost is exactly what it was before this layer
+//    existed (plain integer counters, no allocation).
+//
+// Components keep cheap raw counters as members (the "hardware counters");
+// each layer exposes an export hook (fabric::SubCluster::export_metrics,
+// api::Runtime::export_metrics) that pulls them into a registry at snapshot
+// time. Snapshots are therefore free until requested.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "common/units.h"
+
+namespace tca::obs {
+
+namespace detail {
+inline bool g_sampling_enabled = false;
+}  // namespace detail
+
+/// Global gate for per-event *sample* recording (latency histograms). Raw
+/// counters are always on — an integer increment is cheaper than the check
+/// would be — but sample series grow memory per event, so they default off.
+[[nodiscard]] inline bool sampling_enabled() {
+  return detail::g_sampling_enabled;
+}
+inline void set_sampling_enabled(bool on) { detail::g_sampling_enabled = on; }
+
+/// Monotonically increasing 64-bit event/byte count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  void set(std::uint64_t v) { value_ = v; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time measurement (queue depth, ratio, configuration value).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  [[nodiscard]] double value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Latency/size distribution: streaming moments (RunningStats) plus exact
+/// percentiles (SampleSeries keeps every sample — simulator runs record at
+/// most a few hundred thousand).
+class Histogram {
+ public:
+  void record(double x) {
+    stats_.add(x);
+    samples_.add(x);
+  }
+  void record_series(const SampleSeries& series) {
+    for (double s : series.samples()) record(s);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return stats_.count(); }
+  [[nodiscard]] double mean() const { return stats_.mean(); }
+  [[nodiscard]] double min() const { return stats_.min(); }
+  [[nodiscard]] double max() const { return stats_.max(); }
+  [[nodiscard]] double percentile(double p) const {
+    return samples_.percentile(p);
+  }
+  void reset() { *this = Histogram{}; }
+
+ private:
+  RunningStats stats_;
+  SampleSeries samples_;
+};
+
+/// The JSON-visible summary of a histogram (what snapshots round-trip).
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double mean = 0;
+  double min = 0;
+  double max = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+/// A parsed metrics snapshot — the JSON document as plain maps. Produced by
+/// MetricRegistry::snapshot() and by from_json() (round-trip), consumed by
+/// tests and sidecar tooling.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSummary> histograms;
+
+  /// Parses a document previously produced by MetricRegistry::to_json().
+  /// Minimal, schema-specific JSON reader — not a general-purpose parser.
+  static Result<MetricsSnapshot> from_json(std::string_view json);
+};
+
+/// Central registry: find-or-create metrics by hierarchical name. Returned
+/// references are stable for the registry's lifetime (node-based storage),
+/// so instrumentation sites may cache them. Iteration is name-sorted, which
+/// makes JSON output deterministic.
+class MetricRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Lookup without creation; 0 / empty summary when absent (tests).
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+  [[nodiscard]] double gauge_value(std::string_view name) const;
+  [[nodiscard]] bool has_counter(std::string_view name) const;
+  [[nodiscard]] bool has_histogram(std::string_view name) const;
+
+  [[nodiscard]] std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Zeroes every value but keeps the registered names (so a long-running
+  /// harness can diff intervals without re-registering).
+  void reset();
+  /// Drops everything.
+  void clear();
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Serializes the snapshot as a JSON document:
+  ///   {"meta": {"schema": "tca-metrics-v1"},
+  ///    "counters": {...}, "gauges": {...}, "histograms": {...}}
+  [[nodiscard]] std::string to_json() const;
+  Status write_json(const std::string& path) const;
+
+  /// Emits one chrome://tracing counter event per counter/gauge at simulated
+  /// time `at`, riding the interned Trace (no-op when tracing is disabled).
+  void emit_trace_counters(TimePs at) const;
+
+ private:
+  // std::map: stable references (node-based) + sorted deterministic dumps.
+  // Transparent comparator allows string_view lookups without a copy.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace tca::obs

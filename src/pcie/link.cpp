@@ -81,7 +81,16 @@ void LinkPort::release_rx(std::uint64_t wire_bytes) {
 void LinkPort::try_transmit() {
   if (wire_busy_ || tx_queue_.empty() || !*link_up_) return;
   const std::uint64_t wb = tx_queue_.front().wire_bytes();
-  if (peer_->rx_free_ < wb) return;  // no credits: wait for release_rx
+  if (peer_->rx_free_ < wb) {
+    // No credits: head-of-line blocked until release_rx. Time the stall so
+    // per-link backpressure shows up in the metrics export.
+    if (stall_since_ < 0) stall_since_ = sched_->now();
+    return;
+  }
+  if (stall_since_ >= 0) {
+    credit_stall_ps_ += sched_->now() - stall_since_;
+    stall_since_ = -1;
+  }
 
   Tlp tlp = std::move(tx_queue_.front());
   tx_queue_.pop_front();

@@ -127,6 +127,10 @@ class LinkPort {
   [[nodiscard]] std::uint64_t payload_bytes_sent() const { return data_sent_; }
   /// LCRC-failed transmissions retried from the replay buffer.
   [[nodiscard]] std::uint64_t replays() const { return replays_; }
+  /// Simulated time this direction spent head-of-line blocked waiting for
+  /// receiver credits — the per-link backpressure figure the APEnet+ paper
+  /// tunes against.
+  [[nodiscard]] TimePs credit_stall_ps() const { return credit_stall_ps_; }
   [[nodiscard]] std::uint64_t tx_queued_bytes() const { return tx_queued_; }
   [[nodiscard]] const LinkConfig& config() const { return *cfg_; }
 
@@ -158,6 +162,8 @@ class LinkPort {
   std::uint64_t wire_sent_ = 0;
   std::uint64_t data_sent_ = 0;
   std::uint64_t replays_ = 0;
+  TimePs credit_stall_ps_ = 0;
+  TimePs stall_since_ = -1;  // head-of-line credit wait start, -1 = not stalled
   Rng* error_rng_ = nullptr;  // shared per-link error process
 };
 
@@ -168,6 +174,8 @@ class PcieLink {
 
   [[nodiscard]] LinkPort& end_a() { return a_; }
   [[nodiscard]] LinkPort& end_b() { return b_; }
+  [[nodiscard]] const LinkPort& end_a() const { return a_; }
+  [[nodiscard]] const LinkPort& end_b() const { return b_; }
   [[nodiscard]] const LinkConfig& config() const { return cfg_; }
 
   /// Fault injection: while down, no new TLP starts transmission in either

@@ -155,6 +155,7 @@ sim::Task<> Peach2Chip::forwarding_engine(PortId in_port) {
       if (!decision.has_value() || *decision == PortId::kInternal ||
           ports_[idx(*decision)] == nullptr) {
         ++dropped_;
+        ++unroutable_;
         Log::write(LogLevel::kWarn, "peach2", "unroutable TLP dropped");
         in.link->release_rx(wire);
         continue;
@@ -165,6 +166,7 @@ sim::Task<> Peach2Chip::forwarding_engine(PortId in_port) {
     co_await enqueue_egress(out, std::move(tlp));
     in.link->release_rx(wire);
     ++forwarded_;
+    ++port_forwards_[idx(out)];
 
     if (ack_addr != 0) {
       // PEARL delivery notification back to the source chip's mailbox —
@@ -238,6 +240,7 @@ sim::Task<> Peach2Chip::inject(pcie::Tlp tlp) {
   const auto out = egress_port_for(tlp.address);
   if (!out.has_value()) {
     ++dropped_;
+    ++unroutable_;
     co_return;
   }
   if (loc.has_value() && loc->node == cfg_.node_id) {
@@ -258,6 +261,7 @@ sim::Task<> Peach2Chip::inject(pcie::Tlp tlp) {
   eg.queue.push_back(std::move(tlp));
   pump_egress(*out);
   ++forwarded_;
+  ++port_forwards_[idx(*out)];
 }
 
 sim::Task<> Peach2Chip::drain_egress(PortId out) {

@@ -147,6 +147,13 @@ class Peach2Chip : public pcie::TlpSink {
   [[nodiscard]] std::uint64_t dropped_tlps() const { return dropped_; }
   [[nodiscard]] std::uint64_t acks_sent() const { return acks_sent_; }
   [[nodiscard]] std::uint64_t mailbox_count() const { return mailbox_count_; }
+  /// Forwards broken out by output port (router utilization per direction).
+  [[nodiscard]] std::uint64_t port_forwards(PortId port) const {
+    return port_forwards_[static_cast<std::size_t>(port)];
+  }
+  /// Drops specifically due to address-decode misses (no route entry matched
+  /// or the decided port is uncabled) — a subset of dropped_tlps().
+  [[nodiscard]] std::uint64_t unroutable_tlps() const { return unroutable_; }
 
   // --- Register file (shared by the MMIO path and direct test access) ------
   [[nodiscard]] std::uint64_t read_register(std::uint64_t offset) const;
@@ -193,6 +200,8 @@ class Peach2Chip : public pcie::TlpSink {
   std::uint64_t dropped_ = 0;
   std::uint64_t acks_sent_ = 0;
   std::uint64_t mailbox_count_ = 0;
+  std::array<std::uint64_t, kPortCount> port_forwards_{};
+  std::uint64_t unroutable_ = 0;
 };
 
 }  // namespace tca::peach2

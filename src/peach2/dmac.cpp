@@ -53,6 +53,7 @@ void DmaController::doorbell() {
     status_ = kStatusError;
     return;
   }
+  ++doorbells_;
   status_ = kStatusBusy;
   chain_task_ = run_chain({}, /*fetch_table=*/true);
 }
@@ -66,6 +67,7 @@ void DmaController::kick_immediate() {
     status_ = kStatusError;
     return;
   }
+  ++doorbells_;
   status_ = kStatusBusy;
   chain_task_ = run_immediate(imm_);
 }
@@ -73,6 +75,7 @@ void DmaController::kick_immediate() {
 Status DmaController::start(std::vector<DmaDescriptor> chain) {
   if (busy()) return {ErrorCode::kBusy, "DMA chain already active"};
   if (chain.empty()) return {ErrorCode::kInvalidArgument, "empty chain"};
+  ++doorbells_;
   status_ = kStatusBusy;
   chain_task_ = run_chain(std::move(chain), /*fetch_table=*/false);
   return Status::ok();
@@ -86,6 +89,7 @@ sim::Task<> DmaController::run_chain(std::vector<DmaDescriptor> chain,
     // descriptor group ("retrieving the descriptor table is the dominant
     // factor", Figure 8).
     co_await sim::Delay(sched_, kDescriptorTableFetchPs);
+    ++table_fetches_;
     chain = fetch_table_(table_addr_, count_);
   } else {
     // Direct start (tests/benches bypassing the register file): model the
@@ -157,6 +161,7 @@ sim::Task<> DmaController::complete_chain() {
     co_await chip_.inject(
         pcie::Tlp::mem_write(writeback_addr_, bytes, chip_.device_id()));
   } else {
+    ++interrupts_;
     chip_.raise_interrupt(channel_);
   }
 }

@@ -101,6 +101,12 @@ class DmaController {
   [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
   [[nodiscard]] std::uint64_t bytes_read() const { return bytes_read_; }
   [[nodiscard]] std::uint64_t errors() const { return errors_; }
+  /// Chain starts accepted (doorbell, immediate kick, or direct start).
+  [[nodiscard]] std::uint64_t doorbells() const { return doorbells_; }
+  /// Descriptor-table fetches from host memory (Figure 8's dominant cost).
+  [[nodiscard]] std::uint64_t table_fetches() const { return table_fetches_; }
+  /// Completion interrupts raised toward the host (0 in writeback mode).
+  [[nodiscard]] std::uint64_t interrupts() const { return interrupts_; }
 
  private:
   sim::Task<> run_chain(std::vector<DmaDescriptor> chain, bool fetch_table);
@@ -171,6 +177,9 @@ class DmaController {
   std::uint64_t bytes_written_ = 0;
   std::uint64_t bytes_read_ = 0;
   std::uint64_t errors_ = 0;
+  std::uint64_t doorbells_ = 0;
+  std::uint64_t table_fetches_ = 0;
+  std::uint64_t interrupts_ = 0;
 };
 
 }  // namespace tca::peach2

@@ -292,7 +292,9 @@ TEST(Stream, CoalescesCopiesIntoOneChainPerNode) {
   }
   auto t = stream.synchronize();
   sched.run();
-  ASSERT_TRUE(t.result().is_ok()) << t.result().to_string();
+  const SyncReport report = t.result();
+  ASSERT_TRUE(report.ok()) << report.status.to_string();
+  EXPECT_EQ(report.ops.size(), 6u);
   EXPECT_EQ(stream.pending(), 0u);
 
   std::uint64_t chains1 = 0;
@@ -323,7 +325,7 @@ TEST(Stream, MultiSourceNodesRunConcurrently) {
   ASSERT_TRUE(stream.enqueue_copy(buf0, 16 << 10, buf1, 0, 8192).is_ok());
   auto t = stream.synchronize();
   sched.run();
-  ASSERT_TRUE(t.result().is_ok());
+  ASSERT_TRUE(t.result().ok());
 
   std::vector<std::byte> out(8192);
   rt.read(buf1, 16 << 10, out);
@@ -350,7 +352,9 @@ TEST(Stream, EmptySynchronizeIsCheap) {
   Stream stream(rt);
   auto t = stream.synchronize();
   sched.run();
-  EXPECT_TRUE(t.result().is_ok());
+  const SyncReport report = t.result();
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.ops.empty());
   EXPECT_EQ(sched.now(), 0);
 }
 
@@ -393,6 +397,170 @@ TEST(Runtime, PioLatencyBeatsDmaForTinyMessages) {
 
   EXPECT_LT(pio_time, us(1));
   EXPECT_GT(dma_time, us(3));  // descriptor fetch + interrupt dominate
+}
+
+TEST(RuntimeCreate, AcceptsValidConfig) {
+  sim::Scheduler sched;
+  auto rt = Runtime::create(sched, small_config());
+  ASSERT_TRUE(rt.is_ok()) << rt.status().to_string();
+  EXPECT_EQ(rt.value().node_count(), 2u);
+  // The moved-into Runtime must be fully usable.
+  auto buf = rt.value().alloc_host(0, 4096);
+  EXPECT_TRUE(buf.is_ok());
+}
+
+TEST(RuntimeCreate, RejectsBadNodeCounts) {
+  sim::Scheduler sched;
+  EXPECT_FALSE(Runtime::create(sched, small_config(0)).is_ok());
+  EXPECT_FALSE(Runtime::create(sched, small_config(1)).is_ok());
+  EXPECT_FALSE(Runtime::create(sched, small_config(3)).is_ok());   // not 2^k
+  EXPECT_FALSE(Runtime::create(sched, small_config(32)).is_ok());  // > 16
+  EXPECT_EQ(Runtime::create(sched, small_config(3)).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(RuntimeCreate, RejectsDualRingBelowFourNodes) {
+  sim::Scheduler sched;
+  TcaConfig cfg = small_config(2);
+  cfg.topology = fabric::Topology::kDualRing;
+  EXPECT_FALSE(Runtime::create(sched, cfg).is_ok());
+  cfg.node_count = 4;
+  EXPECT_TRUE(Runtime::create(sched, cfg).is_ok());
+}
+
+TEST(RuntimeCreate, RejectsBadBackingStores) {
+  sim::Scheduler sched;
+  TcaConfig cfg = small_config();
+  cfg.node_config.gpu_count = 0;
+  EXPECT_FALSE(Runtime::create(sched, cfg).is_ok());
+  cfg = small_config();
+  cfg.node_config.gpu_count = 5;
+  EXPECT_FALSE(Runtime::create(sched, cfg).is_ok());
+  cfg = small_config();
+  cfg.node_config.host_backing_bytes = 1 << 20;  // descriptor table won't fit
+  EXPECT_FALSE(Runtime::create(sched, cfg).is_ok());
+  cfg = small_config();
+  cfg.node_config.gpu_backing_bytes = 0;
+  EXPECT_FALSE(Runtime::create(sched, cfg).is_ok());
+}
+
+TEST(Buffer, GpuIndexIsEmptyForHostBuffers) {
+  sim::Scheduler sched;
+  Runtime rt(sched, small_config());
+  auto host = rt.alloc_host(0, 4096).value();
+  EXPECT_FALSE(host.gpu_index().has_value());
+  auto g0 = rt.alloc_gpu(0, 0, 4096).value();
+  auto g1 = rt.alloc_gpu(0, 1, 4096).value();
+  ASSERT_TRUE(g0.gpu_index().has_value());
+  EXPECT_EQ(*g0.gpu_index(), 0);
+  ASSERT_TRUE(g1.gpu_index().has_value());
+  EXPECT_EQ(*g1.gpu_index(), 1);
+}
+
+TEST(Stream, BlockStrideEnqueuesOnePerBlock) {
+  sim::Scheduler sched;
+  Runtime rt(sched, small_config());
+  auto src = rt.alloc_host(0, 64 << 10).value();
+  auto dst = rt.alloc_host(1, 64 << 10).value();
+
+  // Gather: 4 blocks of 2 KiB strided by 8 KiB at the source, packed
+  // contiguously (stride == block size) at the destination.
+  std::vector<std::vector<std::byte>> blobs;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    blobs.push_back(pattern(2048, static_cast<std::uint8_t>(70 + i)));
+    rt.write(src, i * 8192, blobs.back());
+  }
+  Stream stream(rt);
+  ASSERT_TRUE(stream
+                  .enqueue_block_stride(dst, 0, 2048, src, 0, 8192,
+                                        /*block_bytes=*/2048, /*count=*/4)
+                  .is_ok());
+  EXPECT_EQ(stream.pending(), 4u);
+  auto t = stream.synchronize();
+  sched.run();
+  const SyncReport report = t.result();
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report.ops.size(), 4u);
+  for (const auto& op : report.ops) EXPECT_TRUE(op.status.is_ok());
+
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    std::vector<std::byte> out(2048);
+    rt.read(dst, i * 2048, out);
+    EXPECT_EQ(out, blobs[i]) << i;
+  }
+}
+
+TEST(Stream, BlockStrideValidatesExtents) {
+  sim::Scheduler sched;
+  Runtime rt(sched, small_config());
+  auto src = rt.alloc_host(0, 16 << 10).value();
+  auto dst = rt.alloc_host(1, 16 << 10).value();
+  Stream stream(rt);
+  // Last source block would end at 3*8192 + 2048 > 16 KiB.
+  EXPECT_FALSE(
+      stream.enqueue_block_stride(dst, 0, 2048, src, 0, 8192, 2048, 4)
+          .is_ok());
+  EXPECT_EQ(stream.pending(), 0u);
+  // Zero-count / zero-size are accepted no-ops.
+  EXPECT_TRUE(
+      stream.enqueue_block_stride(dst, 0, 2048, src, 0, 8192, 2048, 0)
+          .is_ok());
+  EXPECT_TRUE(
+      stream.enqueue_block_stride(dst, 0, 2048, src, 0, 8192, 0, 4).is_ok());
+  EXPECT_EQ(stream.pending(), 0u);
+}
+
+TEST(Stream, SyncReportCarriesPerOpStatuses) {
+  sim::Scheduler sched;
+  Runtime rt(sched, small_config());
+  auto a = rt.alloc_host(0, 32 << 10).value();
+  auto b = rt.alloc_host(1, 32 << 10).value();
+  rt.write(a, 0, pattern(4096, 80));
+  rt.write(b, 0, pattern(4096, 81));
+
+  Stream stream(rt);
+  ASSERT_TRUE(stream.enqueue_copy(b, 8192, a, 0, 4096).is_ok());
+  ASSERT_TRUE(stream.enqueue_copy(a, 8192, b, 0, 4096).is_ok());
+  ASSERT_TRUE(stream.enqueue_copy(b, 16 << 10, a, 0, 2048).is_ok());
+  auto t = stream.synchronize();
+  sched.run();
+  const SyncReport report = t.result();
+  EXPECT_TRUE(report.ok());
+  ASSERT_EQ(report.ops.size(), 3u);
+  // Per-op entries come back in enqueue order regardless of node grouping.
+  for (std::size_t i = 0; i < report.ops.size(); ++i) {
+    EXPECT_EQ(report.ops[i].index, i);
+    EXPECT_TRUE(report.ops[i].status.is_ok()) << i;
+  }
+}
+
+TEST(Runtime, ApiMetricsCountOpsAndPolicy) {
+  sim::Scheduler sched;
+  Runtime rt(sched, small_config());
+  auto src = rt.alloc_host(0, 16 << 10).value();
+  auto dst = rt.alloc_host(1, 16 << 10).value();
+  rt.write(src, 0, pattern(4096, 90));
+
+  auto small = rt.memcpy_peer(dst, 0, src, 0, 64);  // PIO path
+  sched.run();
+  auto big = rt.memcpy_peer(dst, 4096, src, 0, 4096);  // DMA path
+  sched.run();
+  ASSERT_TRUE(small.result().is_ok());
+  ASSERT_TRUE(big.result().is_ok());
+
+  const ApiMetrics& m = rt.api_metrics();
+  EXPECT_EQ(m.memcpy_ops, 2u);
+  EXPECT_EQ(m.memcpy_bytes, 64u + 4096u);
+  EXPECT_EQ(m.pio_ops, 1u);
+  EXPECT_EQ(m.dma_ops, 1u);
+
+  obs::MetricRegistry reg;
+  rt.export_metrics(reg);
+  EXPECT_EQ(reg.counter_value("api.memcpy.ops"), 2u);
+  EXPECT_EQ(reg.counter_value("api.memcpy.pio_ops"), 1u);
+  EXPECT_EQ(reg.counter_value("api.memcpy.dma_ops"), 1u);
+  // The fabric roll-up rides along in the same registry.
+  EXPECT_TRUE(reg.has_counter("fabric.payload_bytes"));
 }
 
 }  // namespace

@@ -10,6 +10,8 @@
 //   tca_explore --op read --burst 16
 //   tca_explore --op pio --target remote-host --nodes 4 --dest 3
 //   tca_explore --topology dual-ring --nodes 8 --target remote-gpu
+//   tca_explore --stats                           # metrics JSON on stdout
+//   tca_explore --stats-out metrics.json          # ... or to a file
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,6 +20,7 @@
 
 #include "bench/bench_util.h"
 #include "common/trace.h"
+#include "obs/metrics.h"
 
 using namespace tca;
 using bench::DmaRig;
@@ -35,7 +38,8 @@ struct Options {
   std::uint32_t dest = 1;  // destination node for remote targets
   std::vector<std::uint32_t> sizes = {64, 256, 1024, 4096};
   std::string trace_path;  // chrome://tracing JSON output
-  bool stats = false;      // dump per-component counters at exit
+  bool stats = false;      // print the metrics JSON snapshot at exit
+  std::string stats_path;  // write the metrics JSON to a file instead
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -44,7 +48,8 @@ struct Options {
       "usage: %s [--nodes N] [--topology ring|dual-ring] "
       "[--op write|read|pipelined|pio]\n"
       "          [--target local-host|local-gpu|remote-host|remote-gpu]\n"
-      "          [--burst K] [--dest NODE] [--sizes a,b,c]\n",
+      "          [--burst K] [--dest NODE] [--sizes a,b,c]\n"
+      "          [--trace FILE] [--stats] [--stats-out FILE]\n",
       argv0);
   std::exit(2);
 }
@@ -96,6 +101,8 @@ Options parse(int argc, char** argv) {
       opt.trace_path = next();
     } else if (a == "--stats") {
       opt.stats = true;
+    } else if (a == "--stats-out") {
+      opt.stats_path = next();
     } else {
       usage(argv[0]);
     }
@@ -114,6 +121,8 @@ Options parse(int argc, char** argv) {
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
   if (!opt.trace_path.empty()) Trace::instance().enable();
+  // Stats requested: also record latency samples (histograms in the JSON).
+  if (opt.stats || !opt.stats_path.empty()) obs::set_sampling_enabled(true);
 
   sim::Scheduler sched;
   fabric::SubCluster tca(
@@ -206,9 +215,22 @@ int main(int argc, char** argv) {
          units::format_time(elapsed / opt.burst)});
   }
   table.print();
-  if (opt.stats) {
-    std::printf("\n");
-    tca.print_stats();
+  if (opt.stats || !opt.stats_path.empty()) {
+    obs::MetricRegistry reg;
+    tca.export_metrics(reg);
+    if (Trace::instance().enabled()) reg.emit_trace_counters(sched.now());
+    if (!opt.stats_path.empty()) {
+      const Status st = reg.write_json(opt.stats_path);
+      if (!st.is_ok()) {
+        std::fprintf(stderr, "stats: %s\n", st.to_string().c_str());
+        return 1;
+      }
+      std::printf("stats: %zu metrics -> %s\n", reg.size(),
+                  opt.stats_path.c_str());
+    }
+    if (opt.stats) {
+      std::printf("\n%s", reg.to_json().c_str());
+    }
   }
 
   if (!opt.trace_path.empty()) {
