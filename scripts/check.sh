@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Fast pre-commit gate: Release build with warnings, full test suite, and a
-# ~1 s bench_sim_core smoke run (scheduler speedup tripwire + allocation,
-# determinism and backend-equivalence checks).
+# Fast pre-commit gate: Release build with warnings, full test suite (soak
+# label excluded — run `ctest -L soak` for the long fault campaigns), a
+# sanitizer pass over the fault suites, and a ~1 s bench_sim_core smoke run
+# (scheduler speedup tripwire + allocation, determinism and
+# backend-equivalence checks).
 #
-# For a deeper pass, configure with -DTCA_SANITIZE=address (or undefined)
-# and re-run the suite instrumented.
+# For a full instrumented pass, configure with -DTCA_SANITIZE=address (or
+# undefined) and re-run the whole suite.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -14,7 +16,15 @@ cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
 cmake --build "$BUILD" -j
 
 echo "== tests =="
-ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
+ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" -LE soak
+
+echo "== fault suites under ASan/UBSan =="
+SAN_BUILD=build-check-asan
+cmake -B "$SAN_BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DTCA_SANITIZE=address,undefined > /dev/null
+cmake --build "$SAN_BUILD" -j --target fault_test fault_recovery_test
+ctest --test-dir "$SAN_BUILD" --output-on-failure -j "$(nproc)" -LE soak \
+  -R '^(Fault|Nios|DmacErrors|GpuFaults|FaultPlan|LinkDown|ErrorRegisters|Recovery|Determinism)\.'
 
 echo "== bench_sim_core smoke =="
 "$BUILD"/bench/bench_sim_core --smoke

@@ -1,5 +1,6 @@
 #include "api/tca.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace tca::api {
@@ -48,12 +49,17 @@ Result<Runtime> Runtime::create(sim::Scheduler& sched,
 
 Runtime::Runtime(sim::Scheduler& sched, const TcaConfig& config)
     : sched_(sched),
-      cluster_((TCA_ASSERT(validate_config(config).is_ok()), sched),
-               fabric::SubClusterConfig{
-                   .node_count = config.node_count,
-                   .topology = config.topology,
-                   .node_config = config.node_config,
-               }),
+      cluster_((TCA_ASSERT(validate_config(config).is_ok()),
+                std::make_unique<fabric::SubCluster>(
+                    sched, fabric::SubClusterConfig{
+                               .node_count = config.node_count,
+                               .topology = config.topology,
+                               .node_config = config.node_config,
+                               .cable_bit_error_rate =
+                                   config.cable_bit_error_rate,
+                               .fault_plan = config.fault_plan,
+                               .enable_failover = config.enable_failover,
+                           }))),
       host_alloc_cursor_(config.node_count, 0) {}
 
 Result<Buffer> Runtime::alloc_host(std::uint32_t node, std::uint64_t bytes) {
@@ -65,7 +71,7 @@ Result<Buffer> Runtime::alloc_host(std::uint32_t node, std::uint64_t bytes) {
   }
   auto& cursor = host_alloc_cursor_[node];
   const std::uint64_t base = (cursor + 255) & ~255ull;
-  const auto& region = cluster_.driver(node).host_layout();
+  const auto& region = cluster_->driver(node).host_layout();
   if (base + bytes > region.dma_buffer_bytes) {
     return Status{ErrorCode::kResourceExhausted, "host DMA region exhausted"};
   }
@@ -85,9 +91,9 @@ Result<Buffer> Runtime::alloc_gpu(std::uint32_t node, int gpu,
     return Status{ErrorCode::kInvalidArgument,
                   "PEACH2 reaches only GPU0/GPU1 (QPI crossing prohibited)"};
   }
-  auto ptr = cluster_.node(node).gpu(gpu).mem_alloc(bytes);
+  auto ptr = cluster_->node(node).gpu(gpu).mem_alloc(bytes);
   if (!ptr.is_ok()) return ptr.status();
-  auto pinned = cluster_.driver(node).p2p().pin(gpu, ptr.value(), bytes);
+  auto pinned = cluster_->driver(node).p2p().pin(gpu, ptr.value(), bytes);
   if (!pinned.is_ok()) return pinned.status();
   return Buffer{.node = node,
                 .target = gpu == 0 ? TcaTarget::kGpu0 : TcaTarget::kGpu1,
@@ -97,7 +103,7 @@ Result<Buffer> Runtime::alloc_gpu(std::uint32_t node, int gpu,
 
 std::uint64_t Runtime::global_addr(const Buffer& buf,
                                    std::uint64_t offset) const {
-  return cluster_.layout().encode(buf.node, buf.target,
+  return cluster_->layout().encode(buf.node, buf.target,
                                   buf.block_offset + offset);
 }
 
@@ -115,7 +121,7 @@ Status Runtime::validate(const Buffer& buf, std::uint64_t offset,
 void Runtime::write(const Buffer& buf, std::uint64_t offset,
                     std::span<const std::byte> data) {
   TCA_ASSERT(validate(buf, offset, data.size()).is_ok());
-  node::ComputeNode& n = cluster_.node(buf.node);
+  node::ComputeNode& n = cluster_->node(buf.node);
   if (buf.is_host()) {
     n.host_dram().write(buf.block_offset + offset, data);
   } else {
@@ -128,7 +134,7 @@ void Runtime::read(const Buffer& buf, std::uint64_t offset,
   TCA_ASSERT(validate(buf, offset, out.size()).is_ok());
   // cluster_ accessors are non-const; the runtime object itself is the
   // logical owner, so a const_cast here is confined and safe.
-  auto& cluster = const_cast<fabric::SubCluster&>(cluster_);
+  auto& cluster = const_cast<fabric::SubCluster&>(*cluster_);
   node::ComputeNode& n = cluster.node(buf.node);
   if (buf.is_host()) {
     n.host_dram().read(buf.block_offset + offset, out);
@@ -147,7 +153,7 @@ sim::Task<Status> Runtime::memcpy_peer(Buffer dst, std::uint64_t dst_off,
   ++metrics_.memcpy_ops;
   metrics_.memcpy_bytes += bytes;
   const TimePs t0 = sched_.now();
-  driver::Peach2Driver& drv = cluster_.driver(src.node);
+  driver::Peach2Driver& drv = cluster_->driver(src.node);
 
   // Short host-sourced messages: PIO store through the mmapped window.
   if (src.is_host() && bytes <= kPioThreshold) {
@@ -178,37 +184,75 @@ sim::Task<Status> Runtime::memcpy_peer(Buffer dst, std::uint64_t dst_off,
   co_return st;
 }
 
-sim::Task<Status> Runtime::memcpy_peer_batch(std::uint32_t driving_node,
-                                             std::vector<CopyOp> ops) {
-  if (ops.empty()) co_return Status::ok();
+Status Runtime::build_batch_chain(
+    std::uint32_t driving_node, const std::vector<CopyOp>& ops,
+    std::vector<peach2::DmaDescriptor>* chain) const {
   if (ops.size() > calib::kMaxDescriptors) {
-    co_return Status{ErrorCode::kInvalidArgument,
-                     "batch exceeds descriptor-chain capacity"};
+    return {ErrorCode::kInvalidArgument,
+            "batch exceeds descriptor-chain capacity"};
   }
-  std::vector<DmaDescriptor> chain;
-  chain.reserve(ops.size());
+  chain->reserve(ops.size());
   for (const CopyOp& op : ops) {
     if (Status st = validate(op.src, op.src_off, op.bytes); !st.is_ok()) {
-      co_return st;
+      return st;
     }
     if (Status st = validate(op.dst, op.dst_off, op.bytes); !st.is_ok()) {
-      co_return st;
+      return st;
     }
     if (op.src.node != driving_node) {
-      co_return Status{ErrorCode::kPermissionDenied,
-                       "put-only fabric: batch sources must be local to the "
-                       "driving node"};
+      return {ErrorCode::kPermissionDenied,
+              "put-only fabric: batch sources must be local to the "
+              "driving node"};
     }
-    chain.push_back(
+    chain->push_back(
         DmaDescriptor{.src = global_addr(op.src, op.src_off),
                       .dst = global_addr(op.dst, op.dst_off),
                       .length = static_cast<std::uint32_t>(op.bytes),
                       .direction = DmaDirection::kPipelined});
   }
+  return Status::ok();
+}
+
+sim::Task<Status> Runtime::memcpy_peer_batch(std::uint32_t driving_node,
+                                             std::vector<CopyOp> ops) {
+  if (ops.empty()) co_return Status::ok();
+  std::vector<DmaDescriptor> chain;
+  if (Status st = build_batch_chain(driving_node, ops, &chain); !st.is_ok()) {
+    co_return st;
+  }
   ++metrics_.batches;
   metrics_.batch_ops += ops.size();
-  co_return co_await cluster_.driver(driving_node).run_chain_checked(
+  co_return co_await cluster_->driver(driving_node).run_chain_checked(
       std::move(chain));
+}
+
+sim::Task<Status> Runtime::batch_with_policy(std::uint32_t driving_node,
+                                             std::vector<CopyOp> ops,
+                                             SyncOptions options,
+                                             std::uint32_t* retries_out) {
+  *retries_out = 0;
+  if (options.deadline_ps <= 0 && options.max_attempts <= 1) {
+    // Legacy path: wait forever, one attempt.
+    co_return co_await memcpy_peer_batch(driving_node, std::move(ops));
+  }
+  if (ops.empty()) co_return Status::ok();
+  std::vector<DmaDescriptor> chain;
+  if (Status st = build_batch_chain(driving_node, ops, &chain); !st.is_ok()) {
+    co_return st;
+  }
+  ++metrics_.batches;
+  metrics_.batch_ops += ops.size();
+  const driver::Peach2Driver::RetryPolicy policy{
+      .max_attempts = std::max<std::uint32_t>(1, options.max_attempts),
+      .timeout_ps = options.deadline_ps > 0 ? options.deadline_ps
+                                            : calib::kChainWatchdogPs,
+      .backoff_base_ps = options.backoff_base_ps,
+  };
+  const driver::Peach2Driver::ChainResult result =
+      co_await cluster_->driver(driving_node).run_chain_reliable(
+          std::move(chain), policy);
+  *retries_out = result.attempts > 0 ? result.attempts - 1 : 0;
+  co_return result.status;
 }
 
 sim::Task<Status> Runtime::memcpy_block_stride(
@@ -237,7 +281,7 @@ sim::Task<Status> Runtime::memcpy_block_stride(
                       .direction = DmaDirection::kPipelined});
   }
   ++metrics_.block_stride_ops;
-  co_return co_await cluster_.driver(src.node).run_chain_checked(
+  co_return co_await cluster_->driver(src.node).run_chain_checked(
       std::move(chain));
 }
 
@@ -255,7 +299,7 @@ void Runtime::export_metrics(obs::MetricRegistry& reg) const {
     reg.histogram("api.memcpy.latency_ps")
         .record_series(metrics_.memcpy_latency_ps);
   }
-  cluster_.export_metrics(reg);
+  cluster_->export_metrics(reg);
 }
 
 Status Stream::enqueue_copy(Buffer dst, std::uint64_t dst_off, Buffer src,
@@ -295,7 +339,7 @@ Status Stream::enqueue_block_stride(Buffer dst, std::uint64_t dst_off,
   return Status::ok();
 }
 
-sim::Task<SyncReport> Stream::synchronize() {
+sim::Task<SyncReport> Stream::synchronize(SyncOptions options) {
   SyncReport report;
   if (ops_.empty()) co_return report;
   std::vector<Runtime::CopyOp> ops = std::move(ops_);
@@ -317,6 +361,7 @@ sim::Task<SyncReport> Stream::synchronize() {
   // group coroutine writes only its own ops' slots in op_status (disjoint
   // index sets), so no synchronization is needed beyond the trigger.
   std::vector<Status> op_status(ops.size());
+  std::vector<std::uint32_t> op_retries(ops.size(), 0);
   sim::Trigger all_done(rt_.sched_);
   std::size_t remaining = 0;
   for (std::uint32_t n = 0; n < rt_.node_count(); ++n) {
@@ -327,7 +372,9 @@ sim::Task<SyncReport> Stream::synchronize() {
   for (std::uint32_t n = 0; n < rt_.node_count(); ++n) {
     if (by_node[n].empty()) continue;
     sim::spawn([](Runtime& rt, std::uint32_t node,
-                  std::vector<IndexedOp> group, std::vector<Status>& statuses,
+                  std::vector<IndexedOp> group, SyncOptions options,
+                  std::vector<Status>& statuses,
+                  std::vector<std::uint32_t>& retry_counts,
                   std::size_t& left, sim::Trigger& done) -> sim::Task<> {
       Status status = Status::ok();
       std::size_t i = 0;
@@ -348,14 +395,18 @@ sim::Task<SyncReport> Stream::synchronize() {
         for (std::size_t j = i; j < i + count; ++j) {
           batch.push_back(group[j].op);
         }
-        status = co_await rt.memcpy_peer_batch(node, std::move(batch));
+        std::uint32_t retries = 0;
+        status = co_await rt.batch_with_policy(node, std::move(batch),
+                                               options, &retries);
         for (std::size_t j = i; j < i + count; ++j) {
           statuses[group[j].index] = status;
+          retry_counts[group[j].index] = retries;
         }
         i += count;
       }
       if (--left == 0) done.fire();
-    }(rt_, n, std::move(by_node[n]), op_status, remaining, all_done));
+    }(rt_, n, std::move(by_node[n]), options, op_status, op_retries,
+      remaining, all_done));
   }
   if (total_groups > 0) co_await all_done.wait();
 
@@ -364,7 +415,8 @@ sim::Task<SyncReport> Stream::synchronize() {
     if (!op_status[i].is_ok() && report.status.is_ok()) {
       report.status = op_status[i];
     }
-    report.ops.push_back(SyncReport::OpStatus{i, std::move(op_status[i])});
+    report.ops.push_back(
+        SyncReport::OpStatus{i, std::move(op_status[i]), op_retries[i]});
   }
   co_return report;
 }
@@ -374,7 +426,7 @@ sim::Task<> Runtime::notify(std::uint32_t from_node, const Buffer& host_flag,
   TCA_ASSERT(host_flag.is_host());
   TCA_ASSERT(validate(host_flag, offset, 4).is_ok());
   ++metrics_.notify_ops;
-  co_await cluster_.driver(from_node).pio_store_u32(
+  co_await cluster_->driver(from_node).pio_store_u32(
       global_addr(host_flag, offset), value);
 }
 

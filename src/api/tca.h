@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -33,6 +34,11 @@ struct TcaConfig {
       .host_backing_bytes = 64ull << 20,
       .gpu_backing_bytes = 16ull << 20,
   };
+  /// Fault campaign applied at construction (see fabric::FaultPlan) and the
+  /// ring-failover switch, forwarded to the sub-cluster builder.
+  fabric::FaultPlan fault_plan;
+  bool enable_failover = true;
+  double cable_bit_error_rate = 0;
 };
 
 /// A registered communication buffer: host memory or pinned GPU memory on a
@@ -73,6 +79,20 @@ struct ApiMetrics {
   SampleSeries memcpy_latency_ps;
 };
 
+/// Recovery policy for Stream::synchronize(). The default is the legacy
+/// behavior: wait forever, one attempt.
+struct SyncOptions {
+  /// Per-attempt chain deadline. When > 0 the driver arms its watchdog: a
+  /// chain that has not completed by then is aborted and reported as
+  /// kTimedOut instead of hanging the stream.
+  TimePs deadline_ps = 0;
+  /// Attempts per chain (> 1 enables the driver's bounded retry with
+  /// exponential backoff — enough time for a NIOS-serviced ring failover to
+  /// reroute before the doorbell rings again).
+  std::uint32_t max_attempts = 1;
+  TimePs backoff_base_ps = calib::kRetryBackoffBasePs;
+};
+
 class Runtime {
  public:
   /// Validates `config` without building anything: node count must satisfy
@@ -92,8 +112,8 @@ class Runtime {
   explicit Runtime(sim::Scheduler& sched, const TcaConfig& config = {});
 
   [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
-  [[nodiscard]] fabric::SubCluster& cluster() { return cluster_; }
-  [[nodiscard]] std::uint32_t node_count() const { return cluster_.size(); }
+  [[nodiscard]] fabric::SubCluster& cluster() { return *cluster_; }
+  [[nodiscard]] std::uint32_t node_count() const { return cluster_->size(); }
 
   /// Below/equal this byte count, host-sourced copies use PIO stores
   /// instead of a DMA descriptor (short-message latency optimization).
@@ -174,9 +194,21 @@ class Runtime {
                                           std::uint64_t offset) const;
   Status validate(const Buffer& buf, std::uint64_t offset,
                   std::uint64_t bytes) const;
+  /// Validates a batch and serializes it into a descriptor chain.
+  Status build_batch_chain(std::uint32_t driving_node,
+                           const std::vector<CopyOp>& ops,
+                           std::vector<peach2::DmaDescriptor>* chain) const;
+  /// memcpy_peer_batch with a recovery policy; reports retry count.
+  sim::Task<Status> batch_with_policy(std::uint32_t driving_node,
+                                      std::vector<CopyOp> ops,
+                                      SyncOptions options,
+                                      std::uint32_t* retries_out);
 
   sim::Scheduler& sched_;
-  fabric::SubCluster cluster_;
+  // unique_ptr: the sub-cluster schedules fault events and NIOS listeners
+  // that capture its address, so it must stay put while Runtime moves
+  // (Result<Runtime> construction).
+  std::unique_ptr<fabric::SubCluster> cluster_;
   std::vector<std::uint64_t> host_alloc_cursor_;
   ApiMetrics metrics_;
 };
@@ -193,11 +225,25 @@ struct SyncReport {
   struct OpStatus {
     std::size_t index = 0;  ///< position among the enqueued ops
     Status status;
+    /// Doorbell re-rings this op's chain needed (0 = first attempt stuck).
+    std::uint32_t retries = 0;
   };
   std::vector<OpStatus> ops;
 
   [[nodiscard]] bool ok() const { return status.is_ok(); }
+  /// True when the first failure was a deadline expiry (kTimedOut) — the
+  /// outcome SyncOptions::deadline_ps guarantees instead of a hang.
+  [[nodiscard]] bool timed_out() const {
+    return status.code() == ErrorCode::kTimedOut;
+  }
+  /// Total doorbell re-rings across all chains this synchronize ran.
+  [[nodiscard]] std::uint64_t total_retries() const {
+    std::uint64_t total = 0;
+    for (const OpStatus& op : ops) total += op.retries;
+    return total;
+  }
 };
+
 
 /// Deferred command queue (CUDA-stream flavored).
 ///
@@ -224,7 +270,10 @@ class Stream {
   [[nodiscard]] std::size_t pending() const { return ops_.size(); }
 
   /// Executes everything recorded so far and reports per-op outcomes.
-  sim::Task<SyncReport> synchronize();
+  /// `options` adds fault tolerance: a per-attempt deadline (kTimedOut
+  /// instead of hanging) and bounded retry with backoff (retries surfaces
+  /// in each OpStatus).
+  sim::Task<SyncReport> synchronize(SyncOptions options = {});
 
  private:
   Runtime& rt_;

@@ -106,6 +106,27 @@ inline constexpr TimePs kRegAccessPs = ns(100);
 /// embedded-systems PEACH1 work, reference [5] of the paper).
 inline constexpr TimePs kReplayDelayPs = ns(200);
 
+/// Completion timeout for non-posted requests (MRd waiting on a CplD).
+/// PCIe AER defines the range A/B mechanism (50 us .. 50 ms); the simulator
+/// sits at the aggressive end so fault tests stay fast while remaining far
+/// above any legitimate completion latency in the model (~2 us worst case).
+inline constexpr TimePs kCompletionTimeoutPs = us(50);
+
+/// Consecutive replays of the *same* TLP before the data-link layer declares
+/// the link unreliable and raises the replay-threshold error (the REPLAY_NUM
+/// rollover in the PCIe spec escalates to link retrain after 4 attempts).
+inline constexpr std::uint32_t kReplayThreshold = 8;
+
+/// Driver chain-watchdog default: how long a kicked chain may run before the
+/// driver aborts it. Sized for the largest tier-1 transfers (255 x 4 KiB
+/// ~ 320 us) with generous headroom.
+inline constexpr TimePs kChainWatchdogPs = us(2000);
+
+/// Driver retry backoff: first wait after an aborted chain, doubled per
+/// attempt. Long enough for a NIOS-serviced failover (kServiceDelay = 2 us)
+/// plus route reprogramming to land before the doorbell re-rings.
+inline constexpr TimePs kRetryBackoffBasePs = us(10);
+
 /// Remote writes to CPU memory carry a PEARL delivery-notification request
 /// on their final TLP; the destination chip answers with a vendor message to
 /// the source chip's mailbox. The DMAC overlaps the ack of descriptor i with

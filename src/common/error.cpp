@@ -15,6 +15,8 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kBusy: return "BUSY";
     case ErrorCode::kAborted: return "ABORTED";
     case ErrorCode::kInternal: return "INTERNAL";
+    case ErrorCode::kTimedOut: return "TIMED_OUT";
+    case ErrorCode::kLinkDown: return "LINK_DOWN";
   }
   return "UNKNOWN";
 }

@@ -29,7 +29,15 @@ enum class ErrorCode {
   kBusy,              ///< DMA channel already active
   kAborted,           ///< op not attempted because an earlier op failed
   kInternal,
+  kTimedOut,          ///< completion/chain deadline expired
+  kLinkDown,          ///< port dead: TLPs held in the replay buffer
 };
+
+/// Number of ErrorCode values. Keep in sync with the enum above; the
+/// common_test round-trips every value in [0, kErrorCodeCount) through
+/// to_string so a new code cannot ship unnamed.
+inline constexpr int kErrorCodeCount =
+    static_cast<int>(ErrorCode::kLinkDown) + 1;
 
 const char* to_string(ErrorCode code);
 

@@ -66,6 +66,15 @@ Peach2Driver::Peach2Driver(node::ComputeNode& node, peach2::Peach2Chip& chip,
         });
   });
 
+  // Error interrupt line (AER-flavored): the ISR services the sticky error
+  // status after the same vector-dispatch latency as the completion path.
+  chip_.set_error_handler([this](std::uint64_t bits) {
+    ++error_irqs_;
+    node_.cpu().scheduler().schedule_after(
+        calib::kCompletionInterruptPs,
+        [this, bits] { sim::spawn(error_isr(bits)); });
+  });
+
   // The hardware DMAC fetches the descriptor table with MRds; the fetch
   // latency is modeled inside the DMAC, the bytes are the ones write_table
   // serialized into host DRAM.
@@ -116,8 +125,17 @@ sim::Task<std::uint64_t> Peach2Driver::read_register(std::uint64_t offset) {
   co_return value;
 }
 
+sim::Task<> Peach2Driver::error_isr(std::uint64_t bits) {
+  error_bits_seen_ |= bits;
+  Log::write(LogLevel::kWarn, "driver",
+             "error interrupt, status bits " + std::to_string(bits));
+  // Acknowledge the serviced bits (write-1-to-clear) so the next raise of
+  // the same condition interrupts again.
+  co_await write_register(regs::kErrAck, bits);
+}
+
 sim::Task<TimePs> Peach2Driver::run_chain(
-    std::vector<peach2::DmaDescriptor> chain, int channel) {
+    std::vector<peach2::DmaDescriptor> chain, int channel, TimePs timeout_ps) {
   const auto ch = static_cast<std::size_t>(channel);
   TCA_ASSERT(!dma_in_flight_[ch] && "channel already has a chain in flight");
   TCA_ASSERT(!chain.empty());
@@ -134,10 +152,48 @@ sim::Task<TimePs> Peach2Driver::run_chain(
   // "the clock counter is checked just before DMA start" (Section IV-A).
   const TimePs t0 = node_.cpu().scheduler().now();
   co_await write_register(regs::dma_bank(channel, regs::kDmaBankDoorbell), 1);
+
+  // Chain watchdog. Three cases when it fires: engine busy — abort it, the
+  // teardown still raises the completion interrupt, so the wait below
+  // finishes; engine done — the interrupt is already in flight, nothing to
+  // do; engine idle (doorbell swallowed by a wedged engine) — nothing will
+  // ever interrupt, so the watchdog itself releases the wait.
+  bool timed_out = false;
+  sim::Scheduler::EventId watchdog = sim::Scheduler::kInvalidEvent;
+  if (timeout_ps > 0) {
+    watchdog = node_.cpu().scheduler().schedule_after(
+        timeout_ps, [this, channel, ch, &timed_out] {
+          peach2::DmaController& engine = chip_.dmac(channel);
+          if ((engine.status() & regs::kDmaStatusDone) != 0) return;
+          ++timeouts_;
+          timed_out = true;
+          Log::write(LogLevel::kWarn, "driver", "chain watchdog expired");
+          if (engine.busy()) {
+            engine.abort(ErrorCode::kTimedOut);
+          } else {
+            dma_done_[ch]->fire();
+          }
+        });
+  }
+
   co_await dma_done_[ch]->wait();
   // "... checked again in the interrupt handler generated by the completion
   // from the DMAC in the PEACH2 driver."
   const TimePs elapsed = node_.cpu().scheduler().now() - t0;
+  if (watchdog != sim::Scheduler::kInvalidEvent) node_.cpu().scheduler().cancel(watchdog);
+
+  if (timed_out) {
+    last_status_[ch] = Status{ErrorCode::kTimedOut, "chain watchdog expired"};
+  } else if ((chip_.dmac(channel).status() & regs::kDmaStatusError) != 0) {
+    const std::uint64_t info = chip_.dmac(channel).error_info();
+    const auto code = static_cast<ErrorCode>(info >> 32);
+    last_status_[ch] =
+        Status{code == ErrorCode::kOk ? ErrorCode::kInternal : code,
+               "DMA chain error at descriptor " +
+                   std::to_string(info & 0xffffffff)};
+  } else {
+    last_status_[ch] = Status::ok();
+  }
 
   co_await write_register(regs::dma_bank(channel, regs::kDmaBankIntAck), 1);
   dma_in_flight_[ch] = false;
@@ -172,18 +228,45 @@ sim::Task<Status> Peach2Driver::run_chain_checked(
   const int channel = free_channels_.back();
   free_channels_.pop_back();
   co_await run_chain(std::move(chain), channel);
-  const bool error =
-      (chip_.dmac(channel).status() & regs::kDmaStatusError) != 0;
+  const Status status = chain_status(channel);
   free_channels_.push_back(channel);
   channel_sem_.release();
-  if (error) {
-    co_return Status{ErrorCode::kInvalidArgument, "DMA chain error"};
-  }
-  co_return Status::ok();
+  co_return status;
 }
 
-sim::Task<TimePs> Peach2Driver::run_immediate(
-    const peach2::DmaDescriptor& desc, int channel) {
+sim::Task<Peach2Driver::ChainResult> Peach2Driver::run_chain_reliable(
+    std::vector<peach2::DmaDescriptor> chain, RetryPolicy policy) {
+  TCA_ASSERT(policy.max_attempts > 0);
+  co_await channel_sem_.acquire();
+  TCA_ASSERT(!free_channels_.empty());
+  const int channel = free_channels_.back();
+  free_channels_.pop_back();
+
+  ChainResult result;
+  TimePs backoff = policy.backoff_base_ps;
+  for (std::uint32_t attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+    result.attempts = attempt;
+    result.elapsed = co_await run_chain(chain, channel, policy.timeout_ps);
+    result.status = chain_status(channel);
+    if (result.status.is_ok()) break;
+    if (attempt == policy.max_attempts) break;
+    // Back off before re-ringing the doorbell: gives the NIOS firmware and
+    // fabric manager time to fail the ring over before the next attempt.
+    ++retries_;
+    Log::write(LogLevel::kWarn, "driver",
+               "chain failed (" + result.status.to_string() +
+                   "), retrying after backoff");
+    co_await sim::Delay(node_.cpu().scheduler(), backoff);
+    backoff *= policy.backoff_multiplier;
+  }
+
+  free_channels_.push_back(channel);
+  channel_sem_.release();
+  co_return result;
+}
+
+sim::Task<TimePs> Peach2Driver::run_immediate(peach2::DmaDescriptor desc,
+                                              int channel) {
   const auto ch = static_cast<std::size_t>(channel);
   TCA_ASSERT(!dma_in_flight_[ch] && "channel already has a chain in flight");
   dma_in_flight_[ch] = true;
@@ -202,6 +285,16 @@ sim::Task<TimePs> Peach2Driver::run_immediate(
   co_await write_register(regs::dma_bank(channel, regs::kDmaBankImmKick), 1);
   co_await dma_done_[ch]->wait();
   const TimePs elapsed = node_.cpu().scheduler().now() - t0;
+
+  if ((chip_.dmac(channel).status() & regs::kDmaStatusError) != 0) {
+    const std::uint64_t info = chip_.dmac(channel).error_info();
+    const auto code = static_cast<ErrorCode>(info >> 32);
+    last_status_[ch] =
+        Status{code == ErrorCode::kOk ? ErrorCode::kInternal : code,
+               "immediate DMA error"};
+  } else {
+    last_status_[ch] = Status::ok();
+  }
 
   co_await write_register(regs::dma_bank(channel, regs::kDmaBankIntAck), 1);
   dma_in_flight_[ch] = false;

@@ -61,6 +61,23 @@ struct DriverHostLayout {
   static DriverHostLayout for_dram_size(std::uint64_t dram_bytes);
 };
 
+/// Bounded-retry policy for Peach2Driver::run_chain_reliable: exponential
+/// backoff between attempts, each attempt guarded by the chain watchdog.
+/// (Namespace scope so it can serve as an in-class default argument.)
+struct RetryPolicy {
+  std::uint32_t max_attempts = 3;
+  TimePs timeout_ps = calib::kChainWatchdogPs;
+  TimePs backoff_base_ps = calib::kRetryBackoffBasePs;
+  std::uint32_t backoff_multiplier = 2;
+};
+
+/// Outcome of run_chain_reliable.
+struct ChainResult {
+  Status status;
+  TimePs elapsed = 0;  ///< elapsed time of the final attempt
+  std::uint32_t attempts = 0;
+};
+
 class Peach2Driver {
  public:
   /// `reg_base` is the bus address of the board's BAR0 (a node may carry two
@@ -83,8 +100,27 @@ class Peach2Driver {
   /// Returns the TSC-measured elapsed time from just-before-doorbell to the
   /// interrupt handler's clock read (the paper's measurement method).
   /// `channel` selects one of the kDmaChannels independent engines.
+  /// `timeout_ps` > 0 arms a chain watchdog: if the completion interrupt
+  /// has not arrived by then, the driver aborts the engine and the chain
+  /// finishes with chain_status() == kTimedOut instead of hanging forever.
   sim::Task<TimePs> run_chain(std::vector<peach2::DmaDescriptor> chain,
-                              int channel = 0);
+                              int channel = 0, TimePs timeout_ps = 0);
+
+  /// Outcome of the most recent run_chain/run_immediate on `channel`:
+  /// kOk, kTimedOut (watchdog fired), or the per-descriptor DMAC error.
+  [[nodiscard]] const Status& chain_status(int channel = 0) const {
+    return last_status_[static_cast<std::size_t>(channel)];
+  }
+
+  using RetryPolicy = driver::RetryPolicy;
+  using ChainResult = driver::ChainResult;
+
+  /// Reliable chain submission: acquires a channel, runs the chain under
+  /// the watchdog, and on failure re-rings the doorbell after exponential
+  /// backoff — giving a NIOS-serviced ring failover time to reroute before
+  /// the retry. Returns the final status plus the attempt count.
+  sim::Task<ChainResult> run_chain_reliable(
+      std::vector<peach2::DmaDescriptor> chain, RetryPolicy policy = {});
 
   /// Acquires a free DMA channel (suspending if all are busy), runs the
   /// chain on it, releases it. The concurrent-friendly entry point the API
@@ -98,8 +134,10 @@ class Peach2Driver {
 
   /// Descriptor-less immediate DMA: latches src/dst/len in registers and
   /// kicks — no table in host memory, no table fetch. The low-latency path
-  /// for small transfers the paper calls for in Section IV-A1.
-  sim::Task<TimePs> run_immediate(const peach2::DmaDescriptor& desc,
+  /// for small transfers the paper calls for in Section IV-A1. Takes the
+  /// descriptor by value: a coroutine must not keep a reference to a
+  /// caller temporary across its suspension points.
+  sim::Task<TimePs> run_immediate(peach2::DmaDescriptor desc,
                                   int channel = 0);
 
   /// Like run_chain, but completion is signaled by a status writeback into
@@ -144,6 +182,16 @@ class Peach2Driver {
   [[nodiscard]] const SampleSeries& chain_latency_ps() const {
     return chain_latency_;
   }
+  /// Chain watchdog expirations (each one aborted an engine).
+  [[nodiscard]] std::uint64_t watchdog_timeouts() const { return timeouts_; }
+  /// Doorbell re-rings performed by run_chain_reliable.
+  [[nodiscard]] std::uint64_t chain_retries() const { return retries_; }
+  /// Error interrupts serviced (AER-flavored kErrStatus raises).
+  [[nodiscard]] std::uint64_t error_irqs() const { return error_irqs_; }
+  /// Every error-status bit ever serviced by the error ISR (diagnostics).
+  [[nodiscard]] std::uint64_t error_bits_seen() const {
+    return error_bits_seen_;
+  }
 
  private:
   /// Per-channel slice of the descriptor-table region; the completion
@@ -152,6 +200,7 @@ class Peach2Driver {
   [[nodiscard]] std::uint64_t table_slice_bytes() const;
   sim::Task<> write_table(std::span<const peach2::DmaDescriptor> chain,
                           int channel);
+  sim::Task<> error_isr(std::uint64_t bits);
 
   node::ComputeNode& node_;
   peach2::Peach2Chip& chip_;
@@ -163,9 +212,15 @@ class Peach2Driver {
   sim::Semaphore channel_sem_;
   std::vector<int> free_channels_;
 
+  std::array<Status, 4> last_status_{};
+
   std::uint64_t chains_run_ = 0;
   std::uint64_t pio_stores_ = 0;
   std::uint64_t pio_bytes_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t error_irqs_ = 0;
+  std::uint64_t error_bits_seen_ = 0;
   SampleSeries chain_latency_;
 };
 

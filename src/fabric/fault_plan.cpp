@@ -1,0 +1,203 @@
+#include "fabric/fault_plan.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace tca::fabric {
+
+const char* to_string(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::kLinkDown: return "flap";
+    case FaultEvent::Kind::kLinkUp: return "up";
+    case FaultEvent::Kind::kBerBurst: return "ber";
+    case FaultEvent::Kind::kStuckDoorbell: return "stuck";
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::flap(std::uint32_t cable, TimePs at, TimePs duration) {
+  events.push_back({.kind = FaultEvent::Kind::kLinkDown,
+                    .at = at,
+                    .duration = duration,
+                    .cable = cable});
+  return *this;
+}
+
+FaultPlan& FaultPlan::cut(std::uint32_t cable, TimePs at) {
+  events.push_back(
+      {.kind = FaultEvent::Kind::kLinkDown, .at = at, .cable = cable});
+  return *this;
+}
+
+FaultPlan& FaultPlan::up(std::uint32_t cable, TimePs at) {
+  events.push_back(
+      {.kind = FaultEvent::Kind::kLinkUp, .at = at, .cable = cable});
+  return *this;
+}
+
+FaultPlan& FaultPlan::ber_burst(std::uint32_t cable, TimePs at,
+                                TimePs duration, double rate) {
+  events.push_back({.kind = FaultEvent::Kind::kBerBurst,
+                    .at = at,
+                    .duration = duration,
+                    .cable = cable,
+                    .ber = rate});
+  return *this;
+}
+
+FaultPlan& FaultPlan::stuck_doorbell(std::uint32_t node, int channel,
+                                     TimePs at, TimePs duration) {
+  events.push_back({.kind = FaultEvent::Kind::kStuckDoorbell,
+                    .at = at,
+                    .duration = duration,
+                    .node = node,
+                    .channel = channel});
+  return *this;
+}
+
+namespace {
+
+Status parse_error(std::string_view spec, const std::string& why) {
+  return {ErrorCode::kInvalidArgument,
+          "fault plan \"" + std::string(spec) + "\": " + why};
+}
+
+/// Parses "5us" / "100ns" / "1ms" / "2s" / bare picoseconds.
+bool parse_time(std::string_view v, TimePs* out) {
+  char* end = nullptr;
+  const std::string s(v);
+  const double num = std::strtod(s.c_str(), &end);
+  if (end == s.c_str()) return false;
+  const std::string_view suffix(end);
+  double scale = 1;  // bare = ps
+  if (suffix == "ps") scale = 1;
+  else if (suffix == "ns") scale = 1e3;
+  else if (suffix == "us") scale = 1e6;
+  else if (suffix == "ms") scale = 1e9;
+  else if (suffix == "s") scale = 1e12;
+  else if (!suffix.empty()) return false;
+  *out = static_cast<TimePs>(num * scale);
+  return *out >= 0;
+}
+
+bool parse_double(std::string_view v, double* out) {
+  char* end = nullptr;
+  const std::string s(v);
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size() && *out >= 0;
+}
+
+bool parse_u32(std::string_view v, std::uint32_t* out) {
+  char* end = nullptr;
+  const std::string s(v);
+  const unsigned long num = std::strtoul(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) return false;
+  *out = static_cast<std::uint32_t>(num);
+  return true;
+}
+
+}  // namespace
+
+Result<FaultPlan> FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t semi = spec.find(';', pos);
+    if (semi == std::string_view::npos) semi = spec.size();
+    const std::string_view item = spec.substr(pos, semi - pos);
+    pos = semi + 1;
+    if (item.empty()) continue;
+
+    const std::size_t colon = item.find(':');
+    if (colon == std::string_view::npos) {
+      return parse_error(spec, "missing ':' in \"" + std::string(item) + "\"");
+    }
+    const std::string_view kind_name = item.substr(0, colon);
+
+    FaultEvent e;
+    if (kind_name == "flap" || kind_name == "cut") {
+      e.kind = FaultEvent::Kind::kLinkDown;
+    } else if (kind_name == "up") {
+      e.kind = FaultEvent::Kind::kLinkUp;
+    } else if (kind_name == "ber") {
+      e.kind = FaultEvent::Kind::kBerBurst;
+    } else if (kind_name == "stuck") {
+      e.kind = FaultEvent::Kind::kStuckDoorbell;
+    } else {
+      return parse_error(spec,
+                         "unknown kind \"" + std::string(kind_name) + "\"");
+    }
+
+    std::size_t kpos = colon + 1;
+    while (kpos < item.size()) {
+      std::size_t comma = item.find(',', kpos);
+      if (comma == std::string_view::npos) comma = item.size();
+      const std::string_view kv = item.substr(kpos, comma - kpos);
+      kpos = comma + 1;
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string_view::npos) {
+        return parse_error(spec, "missing '=' in \"" + std::string(kv) + "\"");
+      }
+      const std::string_view key = kv.substr(0, eq);
+      const std::string_view value = kv.substr(eq + 1);
+      bool ok = true;
+      if (key == "cable") {
+        ok = parse_u32(value, &e.cable);
+      } else if (key == "node") {
+        ok = parse_u32(value, &e.node);
+      } else if (key == "ch") {
+        std::uint32_t ch = 0;
+        ok = parse_u32(value, &ch);
+        e.channel = static_cast<int>(ch);
+      } else if (key == "at") {
+        ok = parse_time(value, &e.at);
+      } else if (key == "for") {
+        ok = parse_time(value, &e.duration);
+      } else if (key == "rate") {
+        ok = parse_double(value, &e.ber);
+      } else {
+        return parse_error(spec, "unknown key \"" + std::string(key) + "\"");
+      }
+      if (!ok) {
+        return parse_error(spec, "bad value \"" + std::string(value) +
+                                     "\" for " + std::string(key));
+      }
+    }
+
+    if (e.kind == FaultEvent::Kind::kBerBurst &&
+        (e.ber <= 0 || e.duration <= 0)) {
+      return parse_error(spec, "ber needs rate>0 and for>0");
+    }
+    if (e.kind == FaultEvent::Kind::kStuckDoorbell && e.duration <= 0) {
+      return parse_error(spec, "stuck needs for>0");
+    }
+    plan.events.push_back(e);
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream out;
+  bool first = true;
+  for (const FaultEvent& e : events) {
+    if (!first) out << ';';
+    first = false;
+    out << fabric::to_string(e.kind) << ":at=" << e.at << "ps";
+    switch (e.kind) {
+      case FaultEvent::Kind::kLinkDown:
+      case FaultEvent::Kind::kLinkUp:
+        out << ",cable=" << e.cable;
+        break;
+      case FaultEvent::Kind::kBerBurst:
+        out << ",cable=" << e.cable << ",rate=" << e.ber;
+        break;
+      case FaultEvent::Kind::kStuckDoorbell:
+        out << ",node=" << e.node << ",ch=" << e.channel;
+        break;
+    }
+    if (e.duration > 0) out << ",for=" << e.duration << "ps";
+  }
+  return out.str();
+}
+
+}  // namespace tca::fabric

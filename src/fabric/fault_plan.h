@@ -1,0 +1,77 @@
+// Deterministic fault-injection plan for a sub-cluster.
+//
+// A FaultPlan is a list of timestamped fault events the SubCluster schedules
+// at construction: cable link flaps (surprise-down + retrain), bit-error-rate
+// burst windows (LCRC failures / replays), and stuck-doorbell windows (a DMA
+// engine that swallows kicks). Because every event fires at an exact
+// simulated time and the BER process is seeded per cable, two runs of the
+// same plan produce identical traces — the property the fault-recovery tests
+// and the `tca_explore --fault-plan` campaigns rely on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace tca::fabric {
+
+struct FaultEvent {
+  enum class Kind : std::uint8_t {
+    kLinkDown,       ///< cable surprise-down at `at` (up again after `duration`)
+    kLinkUp,         ///< explicit retrain (clears any overlapping down windows)
+    kBerBurst,       ///< cable bit_error_rate = `ber` for `duration`
+    kStuckDoorbell,  ///< dmac(node, channel) swallows kicks for `duration`
+  };
+
+  Kind kind = Kind::kLinkDown;
+  TimePs at = 0;        ///< relative to SubCluster construction
+  TimePs duration = 0;  ///< 0 on kLinkDown = permanent cut (until kLinkUp)
+  std::uint32_t cable = 0;  ///< kLinkDown/kLinkUp/kBerBurst
+  std::uint32_t node = 0;   ///< kStuckDoorbell
+  int channel = 0;          ///< kStuckDoorbell
+  double ber = 0;           ///< kBerBurst
+};
+
+const char* to_string(FaultEvent::Kind kind);
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+
+  // --- Builders (chainable) -------------------------------------------------
+  /// Cable down at `at`, retrained `duration` later.
+  FaultPlan& flap(std::uint32_t cable, TimePs at, TimePs duration);
+  /// Cable down at `at`, permanently (until an explicit up()).
+  FaultPlan& cut(std::uint32_t cable, TimePs at);
+  /// Explicit retrain, cancelling every still-open down window on the cable.
+  FaultPlan& up(std::uint32_t cable, TimePs at);
+  /// Cable bit error rate raised to `rate` in [at, at+duration).
+  FaultPlan& ber_burst(std::uint32_t cable, TimePs at, TimePs duration,
+                       double rate);
+  /// dmac(node, channel) swallows doorbells/kicks in [at, at+duration).
+  FaultPlan& stuck_doorbell(std::uint32_t node, int channel, TimePs at,
+                            TimePs duration);
+
+  /// Parses the CLI grammar used by `tca_explore --fault-plan`:
+  ///
+  ///   plan  := event (';' event)*
+  ///   event := kind ':' key '=' value (',' key '=' value)*
+  ///   kind  := 'flap' | 'cut' | 'up' | 'ber' | 'stuck'
+  ///   key   := 'cable' | 'node' | 'ch' | 'at' | 'for' | 'rate'
+  ///
+  /// Times take a unit suffix (ps/ns/us/ms/s; bare numbers are ps); rates
+  /// are plain doubles ("1e-6"). Example:
+  ///
+  ///   flap:cable=0,at=5us,for=100us;ber:cable=1,at=0,for=1ms,rate=1e-6
+  static Result<FaultPlan> parse(std::string_view spec);
+
+  /// Canonical one-line rendering (diagnostics / campaign logs).
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace tca::fabric

@@ -1,5 +1,9 @@
 #include "fabric/sub_cluster.h"
 
+#include "common/log.h"
+#include "common/trace.h"
+#include "peach2/nios.h"
+
 namespace tca::fabric {
 
 using peach2::Peach2Chip;
@@ -63,6 +67,8 @@ SubCluster::SubCluster(sim::Scheduler& sched, const SubClusterConfig& config)
   if (config.topology == Topology::kRing) {
     wire_ring(sched, 0, config.node_count);
     program_ring_routes(0, config.node_count);
+    ring_cable_up_.assign(cables_.size(), true);
+    if (config.enable_failover) arm_failover(sched);
   } else {
     const std::uint32_t half = config.node_count / 2;
     wire_ring(sched, 0, half);
@@ -76,6 +82,153 @@ SubCluster::SubCluster(sim::Scheduler& sched, const SubClusterConfig& config)
       chips_[i + half]->attach_port(PortId::kSouth, cable->end_b());
     }
     program_dual_ring_routes();
+  }
+
+  if (!config.fault_plan.empty()) schedule_faults(sched);
+}
+
+void SubCluster::arm_failover(sim::Scheduler& sched) {
+  // Ring cable k joins node k (East end) to node (k+1) % n (West end), so
+  // node i's East port maps to cable i and its West port to cable i-1. Both
+  // endpoints report each transition; the first serviced one reroutes.
+  const std::uint32_t n = cfg_.node_count;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    chips_[i]->nios().set_link_listener(
+        [this, i, n, &sched](PortId port, bool up) {
+          std::size_t cable;
+          if (port == PortId::kEast) {
+            cable = i;
+          } else if (port == PortId::kWest) {
+            cable = (i + n - 1) % n;
+          } else {
+            return;  // N (host slot) and S (no cable in kRing)
+          }
+          if (ring_cable_up_[cable] == up) return;  // peer already serviced
+          ring_cable_up_[cable] = up;
+          const std::uint32_t changed = reprogram_ring_routes();
+          if (changed == 0) return;
+          up ? ++failbacks_ : ++failovers_;
+          Log::write(LogLevel::kInfo, "fabric",
+                     std::string(up ? "failback" : "failover") + ": cable " +
+                         std::to_string(cable) + (up ? " up, " : " down, ") +
+                         std::to_string(changed) + " routes rewritten");
+          if (Trace::instance().enabled()) {
+            Trace::instance().instant(
+                "fabric",
+                std::string(up ? "failback" : "failover") + " cable " +
+                    std::to_string(cable),
+                sched.now());
+          }
+        });
+  }
+}
+
+std::uint32_t SubCluster::reprogram_ring_routes() {
+  const std::uint32_t n = cfg_.node_count;
+  std::uint32_t changed = 0;
+  for (std::uint32_t a = 0; a < n; ++a) {
+    peach2::RoutingTable& table = chips_[a]->routing();
+    for (std::uint32_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      const std::uint32_t cw = (b + n - a) % n;   // hops going East
+      const std::uint32_t ccw = (a + n - b) % n;  // hops going West
+      bool cw_clean = true, ccw_clean = true;
+      for (std::uint32_t h = 0; h < cw; ++h) {
+        cw_clean = cw_clean && ring_cable_up_[(a + h) % n];
+      }
+      for (std::uint32_t h = 0; h < ccw; ++h) {
+        ccw_clean = ccw_clean && ring_cable_up_[(a + n - 1 - h) % n];
+      }
+      // Shortest path when both directions are clean — and also when both
+      // are dirty: with no usable detour, traffic is held in the replay
+      // buffer of the shortest direction, the pre-failover behavior.
+      PortId port;
+      if (cw_clean == ccw_clean) {
+        port = cw <= ccw ? PortId::kEast : PortId::kWest;
+      } else {
+        port = cw_clean ? PortId::kEast : PortId::kWest;
+      }
+      // Rewrite the Fig. 5 register for destination b (matched by its
+      // slice's lower bound — route order is stable after construction).
+      const std::uint64_t lower = layout_.slice_base(b);
+      for (std::size_t e = 0; e < table.size(); ++e) {
+        RouteEntry& entry = table.entry_mut(e);
+        if (entry.lower != lower) continue;
+        if (entry.port != port) {
+          entry.port = port;
+          ++changed;
+        }
+        break;
+      }
+    }
+  }
+  return changed;
+}
+
+void SubCluster::schedule_faults(sim::Scheduler& sched) {
+  cable_down_depth_.assign(cables_.size(), 0);
+  cable_ber_depth_.assign(cables_.size(), 0);
+  dmac_stuck_depth_.assign(cfg_.node_count * calib::kDmaChannels, 0);
+
+  for (const FaultEvent& e : cfg_.fault_plan.events) {
+    switch (e.kind) {
+      case FaultEvent::Kind::kLinkDown: {
+        TCA_ASSERT(e.cable < cables_.size());
+        const std::size_t c = e.cable;
+        sched.schedule_after(e.at, [this, c] {
+          if (++cable_down_depth_[c] == 1) cables_[c]->set_up(false);
+        });
+        if (e.duration > 0) {
+          sched.schedule_after(e.at + e.duration, [this, c] {
+            if (--cable_down_depth_[c] == 0) cables_[c]->set_up(true);
+          });
+        }
+        break;
+      }
+      case FaultEvent::Kind::kLinkUp: {
+        TCA_ASSERT(e.cable < cables_.size());
+        const std::size_t c = e.cable;
+        sched.schedule_after(e.at, [this, c] {
+          cable_down_depth_[c] = 0;  // cancels every open down window
+          cables_[c]->set_up(true);
+        });
+        break;
+      }
+      case FaultEvent::Kind::kBerBurst: {
+        TCA_ASSERT(e.cable < cables_.size());
+        const std::size_t c = e.cable;
+        const double rate = e.ber;
+        sched.schedule_after(e.at, [this, c, rate] {
+          ++cable_ber_depth_[c];
+          cables_[c]->set_bit_error_rate(rate);
+        });
+        sched.schedule_after(e.at + e.duration, [this, c] {
+          if (--cable_ber_depth_[c] == 0) {
+            cables_[c]->set_bit_error_rate(cfg_.cable_bit_error_rate);
+          }
+        });
+        break;
+      }
+      case FaultEvent::Kind::kStuckDoorbell: {
+        TCA_ASSERT(e.node < cfg_.node_count);
+        TCA_ASSERT(e.channel >= 0 && e.channel < calib::kDmaChannels);
+        const std::size_t idx =
+            e.node * calib::kDmaChannels + static_cast<std::size_t>(e.channel);
+        const std::uint32_t node = e.node;
+        const int ch = e.channel;
+        sched.schedule_after(e.at, [this, idx, node, ch] {
+          if (++dmac_stuck_depth_[idx] == 1) {
+            chips_[node]->dmac(ch).set_stuck(true);
+          }
+        });
+        sched.schedule_after(e.at + e.duration, [this, idx, node, ch] {
+          if (--dmac_stuck_depth_[idx] == 0) {
+            chips_[node]->dmac(ch).set_stuck(false);
+          }
+        });
+        break;
+      }
+    }
   }
 }
 
@@ -162,6 +315,7 @@ void export_port(obs::MetricRegistry& reg, const std::string& prefix,
   reg.counter(prefix + ".wire_bytes").set(port.wire_bytes_sent());
   reg.counter(prefix + ".payload_bytes").set(port.payload_bytes_sent());
   reg.counter(prefix + ".replays").set(port.replays());
+  reg.counter(prefix + ".dropped").set(port.dropped_tlps());
   reg.counter(prefix + ".credit_stall_ps")
       .set(static_cast<std::uint64_t>(port.credit_stall_ps()));
   roll[0] += port.tlps_sent();
@@ -169,6 +323,7 @@ void export_port(obs::MetricRegistry& reg, const std::string& prefix,
   roll[2] += port.payload_bytes_sent();
   roll[3] += port.replays();
   roll[4] += static_cast<std::uint64_t>(port.credit_stall_ps());
+  roll[5] += port.dropped_tlps();
 }
 
 }  // namespace
@@ -179,7 +334,8 @@ void SubCluster::export_metrics(obs::MetricRegistry& reg) const {
 
   // Inter-node cables. "fwd" is the end_a -> end_b direction, which by
   // wiring convention is `from` -> `to` of cable_nodes().
-  std::uint64_t link_roll[5] = {};  // tlps, wire, payload, replays, stall_ps
+  std::uint64_t link_roll[6] = {};  // tlps, wire, payload, replays, stall,
+                                    // dropped
   for (std::size_t k = 0; k < cables_.size(); ++k) {
     const auto [from, to] = cable_ends_[k];
     const std::string base = "pcie.cable." + std::to_string(from) + "-" +
@@ -192,9 +348,14 @@ void SubCluster::export_metrics(obs::MetricRegistry& reg) const {
   reg.counter("fabric.payload_bytes").set(link_roll[2]);
   reg.counter("fabric.replays").set(link_roll[3]);
   reg.counter("fabric.credit_stall_ps").set(link_roll[4]);
+  reg.counter("fabric.link_dropped_tlps").set(link_roll[5]);
+  reg.counter("fabric.failovers").set(failovers_);
+  reg.counter("fabric.failbacks").set(failbacks_);
 
   std::uint64_t forwarded = 0, dropped = 0, unroutable = 0;
   std::uint64_t dma_chains = 0, dma_written = 0, dma_read = 0, dma_errors = 0;
+  std::uint64_t error_irqs = 0, dma_aborts = 0, dma_timeouts = 0;
+  std::uint64_t wd_timeouts = 0, drv_retries = 0;
   static constexpr const char* kPortNames[peach2::kPortCount] = {"n", "e", "w",
                                                                  "s"};
   for (std::uint32_t i = 0; i < size(); ++i) {
@@ -205,6 +366,8 @@ void SubCluster::export_metrics(obs::MetricRegistry& reg) const {
     reg.counter(n + ".peach2.router.unroutable").set(chip.unroutable_tlps());
     reg.counter(n + ".peach2.router.acks_sent").set(chip.acks_sent());
     reg.counter(n + ".peach2.router.mailbox").set(chip.mailbox_count());
+    reg.counter(n + ".peach2.error_irqs").set(chip.error_interrupts());
+    error_irqs += chip.error_interrupts();
     forwarded += chip.forwarded_tlps();
     dropped += chip.dropped_tlps();
     unroutable += chip.unroutable_tlps();
@@ -225,16 +388,25 @@ void SubCluster::export_metrics(obs::MetricRegistry& reg) const {
       reg.counter(c + ".doorbells").set(d.doorbells());
       reg.counter(c + ".table_fetches").set(d.table_fetches());
       reg.counter(c + ".interrupts").set(d.interrupts());
+      reg.counter(c + ".aborts").set(d.aborts());
+      reg.counter(c + ".completion_timeouts").set(d.completion_timeouts());
       dma_chains += d.chains_completed();
       dma_written += d.bytes_written();
       dma_read += d.bytes_read();
       dma_errors += d.errors();
+      dma_aborts += d.aborts();
+      dma_timeouts += d.completion_timeouts();
     }
 
     const auto& drv = *drivers_[i];
     reg.counter(n + ".driver.chains").set(drv.chains_run());
     reg.counter(n + ".driver.pio_stores").set(drv.pio_stores());
     reg.counter(n + ".driver.pio_bytes").set(drv.pio_bytes());
+    reg.counter(n + ".driver.watchdog_timeouts").set(drv.watchdog_timeouts());
+    reg.counter(n + ".driver.retries").set(drv.chain_retries());
+    reg.counter(n + ".driver.error_irqs").set(drv.error_irqs());
+    wd_timeouts += drv.watchdog_timeouts();
+    drv_retries += drv.chain_retries();
     if (!drv.chain_latency_ps().empty()) {
       reg.histogram(n + ".driver.chain_latency_ps")
           .record_series(drv.chain_latency_ps());
@@ -265,6 +437,11 @@ void SubCluster::export_metrics(obs::MetricRegistry& reg) const {
   reg.counter("fabric.dma.bytes_written").set(dma_written);
   reg.counter("fabric.dma.bytes_read").set(dma_read);
   reg.counter("fabric.dma.errors").set(dma_errors);
+  reg.counter("fabric.dma.aborts").set(dma_aborts);
+  reg.counter("fabric.dma.completion_timeouts").set(dma_timeouts);
+  reg.counter("fabric.error_irqs").set(error_irqs);
+  reg.counter("fabric.driver.watchdog_timeouts").set(wd_timeouts);
+  reg.counter("fabric.driver.retries").set(drv_retries);
 }
 
 std::uint32_t SubCluster::ring_hops(std::uint32_t from,

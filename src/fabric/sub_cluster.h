@@ -14,6 +14,7 @@
 
 #include "calib/calibration.h"
 #include "driver/peach2_driver.h"
+#include "fabric/fault_plan.h"
 #include "node/compute_node.h"
 #include "obs/metrics.h"
 #include "peach2/chip.h"
@@ -41,11 +42,25 @@ struct SubClusterConfig {
   /// Fault injection: bit error rate on the inter-node cables (LCRC
   /// failures trigger data-link-layer replays; data is never lost).
   double cable_bit_error_rate = 0;
+  /// Deterministic fault schedule applied at construction (cable flaps, BER
+  /// bursts, stuck doorbells). Event times are relative to construction.
+  FaultPlan fault_plan;
+  /// Ring failover: when the NIOS firmware services a ring-cable-down event,
+  /// rewrite the address-range routing registers (the Fig. 5 mechanism) so
+  /// traffic steers the other way around the ring; restore the shortest-path
+  /// tables on link-up. kRing topology only. When every usable direction is
+  /// dead (a full-fabric outage) routes are left alone and traffic is held
+  /// in the replay buffers, exactly as with failover disabled.
+  bool enable_failover = true;
 };
 
 class SubCluster {
  public:
   SubCluster(sim::Scheduler& sched, const SubClusterConfig& config);
+
+  // Fault-plan events and NIOS link listeners capture `this`.
+  SubCluster(const SubCluster&) = delete;
+  SubCluster& operator=(const SubCluster&) = delete;
 
   [[nodiscard]] std::uint32_t size() const {
     return static_cast<std::uint32_t>(nodes_.size());
@@ -107,11 +122,31 @@ class SubCluster {
     return cable_ends_.at(k);
   }
 
+  /// Firmware's view of ring cable `k` (false once a NIOS has serviced its
+  /// down event; the routing tables reflect this view, not the wire state).
+  [[nodiscard]] bool ring_cable_usable(std::size_t k) const {
+    return ring_cable_up_.at(k);
+  }
+
+  /// Reroute events: failovers_ counts down-transitions that changed at
+  /// least one routing entry; failbacks_ counts up-transitions that restored
+  /// entries. Zero unless enable_failover and topology == kRing.
+  [[nodiscard]] std::uint64_t failovers() const { return failovers_; }
+  [[nodiscard]] std::uint64_t failbacks() const { return failbacks_; }
+
  private:
   void wire_ring(sim::Scheduler& sched, std::uint32_t first,
                  std::uint32_t count);
   void program_ring_routes(std::uint32_t first, std::uint32_t count);
   void program_dual_ring_routes();
+
+  /// Installs the NIOS link listeners that drive ring failover.
+  void arm_failover(sim::Scheduler& sched);
+  /// Schedules every FaultPlan event onto `sched`.
+  void schedule_faults(sim::Scheduler& sched);
+  /// Rewrites every node's ring routes honoring ring_cable_up_; returns the
+  /// number of route entries whose port changed.
+  std::uint32_t reprogram_ring_routes();
 
   SubClusterConfig cfg_;
   peach2::TcaLayout layout_;
@@ -121,6 +156,18 @@ class SubCluster {
   std::vector<std::unique_ptr<pcie::PcieLink>> cables_;
   /// (from, to) node ids per cable, parallel to cables_; end_a is `from`.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> cable_ends_;
+
+  /// Failover state (kRing only): firmware-serviced view of each ring cable
+  /// (cable k joins nodes k and (k+1) % n, node k's East port).
+  std::vector<bool> ring_cable_up_;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t failbacks_ = 0;
+
+  /// FaultPlan window nesting: a resource stays faulted until every
+  /// overlapping window has closed.
+  std::vector<int> cable_down_depth_;
+  std::vector<int> cable_ber_depth_;
+  std::vector<int> dmac_stuck_depth_;  // node * kDmaChannels + channel
 };
 
 }  // namespace tca::fabric

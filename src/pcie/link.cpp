@@ -113,6 +113,10 @@ void LinkPort::try_transmit() {
                        static_cast<double>(wb) * 8.0);
     if (error_rng_->next_double() < p_err) {
       ++replays_;
+      if (++head_replay_count_ == calib::kReplayThreshold &&
+          replay_threshold_cb_) {
+        replay_threshold_cb_();
+      }
       // The wire stays busy until the retry is requeued: replay-buffer
       // ordering forbids later TLPs overtaking the failed one.
       sched_->schedule_after(
@@ -127,6 +131,7 @@ void LinkPort::try_transmit() {
       return;
     }
   }
+  head_replay_count_ = 0;
 
   if (Trace::instance().enabled() && !cfg_->name.empty()) {
     Trace::instance().duration(
@@ -136,14 +141,51 @@ void LinkPort::try_transmit() {
                                                    : tlp.payload.size()),
         sched_->now(), sched_->now() + serialize);
   }
-  sched_->schedule_after(serialize, [this] {
+  wire_done_event_ = sched_->schedule_after(serialize, [this] {
+    wire_done_event_ = sim::Scheduler::kInvalidEvent;
     wire_busy_ = false;
     try_transmit();
     if (tx_ready_) tx_ready_();
   });
-  sched_->schedule_after(
-      serialize + cfg_->propagation_ps,
-      [this, t = std::move(tlp)]() mutable { peer_->deliver(std::move(t)); });
+  // Track the delivery event so a surprise-down can pull the TLP off the
+  // wire. Deliveries fire in FIFO order (the serializer forbids overtaking),
+  // so the handler always consumes the front element.
+  in_flight_.push_back(InFlight{sim::Scheduler::kInvalidEvent, std::move(tlp)});
+  in_flight_.back().event =
+      sched_->schedule_after(serialize + cfg_->propagation_ps, [this] {
+        Tlp t = std::move(in_flight_.front().tlp);
+        in_flight_.pop_front();
+        peer_->deliver(std::move(t));
+      });
+}
+
+void LinkPort::on_link_down() {
+  // Surprise-down: TLPs in flight never reach the peer. The data-link layer
+  // never received their ack DLLPs, so they go back to the head of the
+  // replay buffer (front of the egress queue, newest pushed first to keep
+  // original order) and their reserved receiver credits are returned. Count
+  // and trace every drop — silent TLP loss is how fault bugs hide.
+  const std::size_t dropped = in_flight_.size();
+  while (!in_flight_.empty()) {
+    InFlight& f = in_flight_.back();
+    TCA_ASSERT(sched_->cancel(f.event));
+    ++dropped_tlps_;
+    peer_->rx_free_ += f.tlp.wire_bytes();
+    tx_queued_ += f.tlp.wire_bytes();
+    tx_queue_.push_front(std::move(f.tlp));
+    in_flight_.pop_back();
+  }
+  if (wire_done_event_ != sim::Scheduler::kInvalidEvent) {
+    TCA_ASSERT(sched_->cancel(wire_done_event_));
+    wire_done_event_ = sim::Scheduler::kInvalidEvent;
+    wire_busy_ = false;
+  }
+  head_replay_count_ = 0;
+  if (dropped > 0 && Trace::instance().enabled() && !cfg_->name.empty()) {
+    Trace::instance().instant(
+        cfg_->name, "link-down: " + std::to_string(dropped) + " TLPs dropped",
+        sched_->now());
+  }
 }
 
 void LinkPort::deliver(Tlp tlp) {
@@ -164,6 +206,10 @@ PcieLink::PcieLink(sim::Scheduler& sched, LinkConfig cfg)
 void PcieLink::set_up(bool up) {
   if (up_ == up) return;
   up_ = up;
+  if (!up_) {
+    a_.on_link_down();
+    b_.on_link_down();
+  }
   if (a_.link_state_cb_) a_.link_state_cb_(up_);
   if (b_.link_state_cb_) b_.link_state_cb_(up_);
   if (up_) {

@@ -121,12 +121,25 @@ class LinkPort {
     link_state_cb_ = std::move(cb);
   }
 
+  /// Registers the (single) callback invoked when the same TLP has been
+  /// replayed calib::kReplayThreshold consecutive times — the REPLAY_NUM
+  /// escalation an AER-capable device surfaces as a correctable-error
+  /// interrupt before the LTSSM forces a retrain.
+  void set_replay_threshold_callback(std::function<void()> cb) {
+    replay_threshold_cb_ = std::move(cb);
+  }
+
   /// Statistics ------------------------------------------------------------
   [[nodiscard]] std::uint64_t tlps_sent() const { return tlps_sent_; }
   [[nodiscard]] std::uint64_t wire_bytes_sent() const { return wire_sent_; }
   [[nodiscard]] std::uint64_t payload_bytes_sent() const { return data_sent_; }
   /// LCRC-failed transmissions retried from the replay buffer.
   [[nodiscard]] std::uint64_t replays() const { return replays_; }
+  /// TLPs that were in flight when the link went down. Each one is returned
+  /// to the replay buffer (front of the egress queue) for retransmission
+  /// after retrain, so data is delayed, not lost — but the drop is counted
+  /// and traced rather than silently absorbed.
+  [[nodiscard]] std::uint64_t dropped_tlps() const { return dropped_tlps_; }
   /// Simulated time this direction spent head-of-line blocked waiting for
   /// receiver credits — the per-link backpressure figure the APEnet+ paper
   /// tunes against.
@@ -141,6 +154,13 @@ class LinkPort {
 
   void try_transmit();
   void deliver(Tlp tlp);
+  void on_link_down();
+
+  /// A TLP past the serializer but not yet at the peer (propagation delay).
+  struct InFlight {
+    sim::Scheduler::EventId event;
+    Tlp tlp;
+  };
 
   sim::Scheduler* sched_;
   const LinkConfig* cfg_;
@@ -153,6 +173,10 @@ class LinkPort {
   std::uint64_t tx_queued_ = 0;
   bool wire_busy_ = false;
   std::function<void()> tx_ready_;
+  std::function<void()> replay_threshold_cb_;
+  sim::Scheduler::EventId wire_done_event_ = sim::Scheduler::kInvalidEvent;
+  std::deque<InFlight> in_flight_;  // FIFO: front is oldest
+  std::uint32_t head_replay_count_ = 0;  // consecutive replays of head TLP
 
   // Receive side.
   TlpSink* sink_ = nullptr;
@@ -162,6 +186,7 @@ class LinkPort {
   std::uint64_t wire_sent_ = 0;
   std::uint64_t data_sent_ = 0;
   std::uint64_t replays_ = 0;
+  std::uint64_t dropped_tlps_ = 0;
   TimePs credit_stall_ps_ = 0;
   TimePs stall_since_ = -1;  // head-of-line credit wait start, -1 = not stalled
   Rng* error_rng_ = nullptr;  // shared per-link error process
@@ -178,13 +203,19 @@ class PcieLink {
   [[nodiscard]] const LinkPort& end_b() const { return b_; }
   [[nodiscard]] const LinkConfig& config() const { return cfg_; }
 
-  /// Fault injection: while down, no new TLP starts transmission in either
-  /// direction (in-flight TLPs complete — they are already serialized).
-  /// Bringing the link back up resumes queued traffic. Unlike an NTB-based
-  /// fabric, a TCA link loss is survivable: the host-to-chip connection is
-  /// unaffected (Section V).
+  /// Fault injection: surprise-down. In-flight TLPs are dropped off the
+  /// wire and counted (dropped_tlps) but not destroyed — the data-link layer
+  /// never saw their ack DLLPs, so they return to the replay buffer and
+  /// retransmit after retrain. Bringing the link back up resumes queued
+  /// traffic. Unlike an NTB-based fabric, a TCA link loss is survivable: the
+  /// host-to-chip connection is unaffected (Section V).
   void set_up(bool up);
   [[nodiscard]] bool is_up() const { return up_; }
+
+  /// Fault injection: change the bit error rate at runtime (BER burst
+  /// windows in a FaultPlan). Safe to mutate — the rate cache seals only
+  /// the gen/lanes/custom-rate timing parameters.
+  void set_bit_error_rate(double ber) { cfg_.bit_error_rate = ber; }
 
  private:
   LinkConfig cfg_;

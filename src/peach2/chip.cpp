@@ -50,8 +50,16 @@ void Peach2Chip::attach_port(PortId port, pcie::LinkPort& link) {
   link.set_tx_ready([this, port] { pump_egress(port); });
   link.set_link_state_callback([this, port](bool up) {
     nios_->on_link_change(port, up);
-    if (up) pump_egress(port);  // resume traffic held during the outage
+    if (up) {
+      pump_egress(port);  // resume traffic held during the outage
+    } else {
+      // Wake drain waiters so they observe the dead link and stop gating
+      // chain completion on bytes the replay buffer is holding.
+      egress_[static_cast<std::size_t>(port)].space->pulse();
+    }
   });
+  link.set_replay_threshold_callback(
+      [this] { raise_error(regs::kErrReplayThreshold); });
   nios_->on_port_attached(port);  // cabled and trained
 }
 
@@ -156,6 +164,7 @@ sim::Task<> Peach2Chip::forwarding_engine(PortId in_port) {
           ports_[idx(*decision)] == nullptr) {
         ++dropped_;
         ++unroutable_;
+        raise_error(regs::kErrUnroutable);
         Log::write(LogLevel::kWarn, "peach2", "unroutable TLP dropped");
         in.link->release_rx(wire);
         continue;
@@ -229,7 +238,7 @@ std::optional<PortId> Peach2Chip::egress_port_for(std::uint64_t addr) const {
   return decision;
 }
 
-sim::Task<> Peach2Chip::inject(pcie::Tlp tlp) {
+sim::Task<> Peach2Chip::inject(pcie::Tlp tlp, const bool* aborted) {
   const auto loc = cfg_.layout.decode(tlp.address);
   if (loc.has_value() && loc->node == cfg_.node_id &&
       loc->target == TcaTarget::kInternal) {
@@ -241,6 +250,7 @@ sim::Task<> Peach2Chip::inject(pcie::Tlp tlp) {
   if (!out.has_value()) {
     ++dropped_;
     ++unroutable_;
+    raise_error(regs::kErrUnroutable);
     co_return;
   }
   if (loc.has_value() && loc->node == cfg_.node_id) {
@@ -255,6 +265,7 @@ sim::Task<> Peach2Chip::inject(pcie::Tlp tlp) {
   Egress& eg = egress_[idx(*out)];
   const std::uint64_t wire = tlp.wire_bytes();
   while (eg.reserved_bytes + wire > cfg_.egress_queue_bytes) {
+    if (aborted != nullptr && *aborted) co_return;  // chain abort: give up
     co_await eg.space->wait();
   }
   eg.reserved_bytes += wire;
@@ -264,13 +275,32 @@ sim::Task<> Peach2Chip::inject(pcie::Tlp tlp) {
   ++port_forwards_[idx(*out)];
 }
 
-sim::Task<> Peach2Chip::drain_egress(PortId out) {
+sim::Task<> Peach2Chip::drain_egress(PortId out, const bool* aborted) {
   // "Left the chip" = egress FIFO empty AND the link serializer idle. The
   // link's tx_ready callback is pump_egress, which pulses the space trigger
   // on every wire completion, so this loop wakes exactly when state changes.
   Egress& eg = egress_[idx(out)];
   while (eg.reserved_bytes > 0 || !eg.port->tx_idle()) {
+    if (aborted != nullptr && *aborted) co_return;
+    // A dead link cannot drain: its bytes sit in the replay buffer until
+    // retrain. Chain completion must not hang on them — after a ring
+    // failover the retried data takes the other direction, and the held
+    // bytes retransmit whenever the cable returns.
+    if (!eg.port->link_up()) co_return;
     co_await eg.space->wait();
+  }
+}
+
+void Peach2Chip::pulse_egress_waiters() {
+  for (std::size_t p = 0; p < kPortCount; ++p) egress_[p].space->pulse();
+}
+
+void Peach2Chip::raise_error(std::uint64_t bits) {
+  err_status_ |= bits;
+  const std::uint64_t unmasked = bits & ~err_mask_;
+  if (unmasked != 0 && error_handler_) {
+    ++error_irqs_;
+    error_handler_(unmasked);
   }
 }
 
@@ -384,6 +414,7 @@ std::uint64_t Peach2Chip::read_register(std::uint64_t offset) const {
     switch (field) {
       case r::kDmaBankStatus: return d.status();
       case r::kDmaBankWriteback: return d.writeback_addr();
+      case r::kDmaBankErrInfo: return d.error_info();
       default: return 0;  // write-only / unimplemented bank fields
     }
   }
@@ -392,6 +423,8 @@ std::uint64_t Peach2Chip::read_register(std::uint64_t offset) const {
     case r::kLogicVersion: return r::kLogicVersionValue;
     case r::kNodeId: return cfg_.node_id;
     case r::kMailboxCount: return mailbox_count_;
+    case r::kErrStatus: return err_status_;
+    case r::kErrMask: return err_mask_;
     case r::kConvWindowBase: return cfg_.layout.window_base;
     case r::kConvWindowSize: return cfg_.layout.window_size;
     case r::kConvNodeCount: return cfg_.layout.node_count;
@@ -452,6 +485,8 @@ void Peach2Chip::write_register(std::uint64_t offset, std::uint64_t value) {
     case r::kNodeId:
       cfg_.node_id = static_cast<std::uint32_t>(value);
       break;
+    case r::kErrMask: err_mask_ = value; break;
+    case r::kErrAck: err_status_ &= ~value; break;  // write-1-to-clear
     case r::kConvWindowBase: cfg_.layout.window_base = value; break;
     case r::kConvWindowSize: cfg_.layout.window_size = value; break;
     case r::kConvNodeCount:

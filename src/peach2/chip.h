@@ -96,6 +96,18 @@ class Peach2Chip : public pcie::TlpSink {
     if (interrupt_) interrupt_(channel);
   }
 
+  /// Error interrupt line (AER-flavored). The handler receives the newly
+  /// raised, unmasked kErrStatus bits. Status is sticky until the driver
+  /// writes 1s to kErrAck; masked bits still latch but do not interrupt.
+  void set_error_handler(std::function<void(std::uint64_t)> handler) {
+    error_handler_ = std::move(handler);
+  }
+  /// Latches `bits` into the error-status register and fires the error
+  /// interrupt for any unmasked ones.
+  void raise_error(std::uint64_t bits);
+  [[nodiscard]] std::uint64_t error_status() const { return err_status_; }
+  [[nodiscard]] std::uint64_t error_mask() const { return err_mask_; }
+
   /// Global address of this chip's internal block (mailbox at offset 0,
   /// internal RAM window right after it).
   [[nodiscard]] std::uint64_t internal_block_base() const {
@@ -107,7 +119,10 @@ class Peach2Chip : public pcie::TlpSink {
 
   /// Injects a DMAC-originated TLP into the routing fabric; suspends on
   /// egress backpressure. This is the DMA engine's only way to the wire.
-  sim::Task<> inject(pcie::Tlp tlp);
+  /// If `aborted` is non-null, the injection gives up (dropping the TLP)
+  /// once it observes *aborted == true — the DMAC's cooperative chain-abort
+  /// escape hatch from a backpressure wait that will never resolve.
+  sim::Task<> inject(pcie::Tlp tlp, const bool* aborted = nullptr);
 
   /// Port-N address conversion: global TCA location -> local bus address.
   /// Exposed for the DMAC, which issues local MRds in bus addresses.
@@ -123,8 +138,14 @@ class Peach2Chip : public pcie::TlpSink {
   /// link. The chaining DMA engine serializes descriptors on this: the next
   /// descriptor is not decoded until the previous one's data has left the
   /// chip, which is what keeps measured chained-write bandwidth at the
-  /// paper's 3.3 GB/s rather than the 3.66 GB/s wire peak.
-  sim::Task<> drain_egress(PortId out);
+  /// paper's 3.3 GB/s rather than the 3.66 GB/s wire peak. A non-null
+  /// `aborted` flag lets a chain abort bail out of a drain that cannot
+  /// complete (e.g. the port's link is dead and holding its bytes).
+  sim::Task<> drain_egress(PortId out, const bool* aborted = nullptr);
+
+  /// Wakes every coroutine blocked on egress backpressure so it can observe
+  /// a freshly set abort flag. Called by the DMAC on chain abort.
+  void pulse_egress_waiters();
 
   // TlpSink.
   void on_tlp(pcie::Tlp tlp, pcie::LinkPort& port) override;
@@ -154,6 +175,8 @@ class Peach2Chip : public pcie::TlpSink {
   /// Drops specifically due to address-decode misses (no route entry matched
   /// or the decided port is uncabled) — a subset of dropped_tlps().
   [[nodiscard]] std::uint64_t unroutable_tlps() const { return unroutable_; }
+  /// Error-interrupt assertions toward the driver (unmasked raises).
+  [[nodiscard]] std::uint64_t error_interrupts() const { return error_irqs_; }
 
   // --- Register file (shared by the MMIO path and direct test access) ------
   [[nodiscard]] std::uint64_t read_register(std::uint64_t offset) const;
@@ -193,6 +216,9 @@ class Peach2Chip : public pcie::TlpSink {
   std::array<Egress, kPortCount> egress_;
   std::array<Ingress, kPortCount> ingress_;
   std::function<void(int)> interrupt_;
+  std::function<void(std::uint64_t)> error_handler_;
+  std::uint64_t err_status_ = 0;
+  std::uint64_t err_mask_ = 0;
   std::array<std::unique_ptr<DmaController>, 4> dmac_channels_;
   std::unique_ptr<NiosController> nios_;
 
@@ -202,6 +228,7 @@ class Peach2Chip : public pcie::TlpSink {
   std::uint64_t mailbox_count_ = 0;
   std::array<std::uint64_t, kPortCount> port_forwards_{};
   std::uint64_t unroutable_ = 0;
+  std::uint64_t error_irqs_ = 0;
 };
 
 }  // namespace tca::peach2

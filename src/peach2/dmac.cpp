@@ -6,6 +6,7 @@
 #include "common/log.h"
 #include "common/trace.h"
 #include "peach2/chip.h"
+#include "peach2/registers.h"
 
 namespace tca::peach2 {
 
@@ -44,7 +45,19 @@ DmaController::DmaController(sim::Scheduler& sched, Peach2Chip& chip,
   next_ack_tag_ = static_cast<std::uint8_t>(base + 32);
 }
 
+void DmaController::arm_chain() {
+  ++doorbells_;
+  status_ = kStatusBusy;
+  aborted_ = false;
+  error_info_ = 0;
+  current_desc_ = 0;
+}
+
 void DmaController::doorbell() {
+  if (stuck_) {
+    Log::write(LogLevel::kWarn, "dmac", "doorbell swallowed (engine stuck)");
+    return;
+  }
   if (busy()) {
     Log::write(LogLevel::kWarn, "dmac", "doorbell while busy ignored");
     return;
@@ -53,12 +66,15 @@ void DmaController::doorbell() {
     status_ = kStatusError;
     return;
   }
-  ++doorbells_;
-  status_ = kStatusBusy;
+  arm_chain();
   chain_task_ = run_chain({}, /*fetch_table=*/true);
 }
 
 void DmaController::kick_immediate() {
+  if (stuck_) {
+    Log::write(LogLevel::kWarn, "dmac", "kick swallowed (engine stuck)");
+    return;
+  }
   if (busy()) {
     Log::write(LogLevel::kWarn, "dmac", "immediate kick while busy ignored");
     return;
@@ -67,18 +83,63 @@ void DmaController::kick_immediate() {
     status_ = kStatusError;
     return;
   }
-  ++doorbells_;
-  status_ = kStatusBusy;
+  arm_chain();
   chain_task_ = run_immediate(imm_);
 }
 
 Status DmaController::start(std::vector<DmaDescriptor> chain) {
+  if (stuck_) return {ErrorCode::kBusy, "DMA engine stuck (fault injection)"};
   if (busy()) return {ErrorCode::kBusy, "DMA chain already active"};
   if (chain.empty()) return {ErrorCode::kInvalidArgument, "empty chain"};
-  ++doorbells_;
-  status_ = kStatusBusy;
+  arm_chain();
   chain_task_ = run_chain(std::move(chain), /*fetch_table=*/false);
   return Status::ok();
+}
+
+void DmaController::fail_descriptor(ErrorCode code) {
+  ++errors_;
+  status_ |= kStatusError;
+  error_info_ =
+      (static_cast<std::uint64_t>(code) << 32) | current_desc_;
+}
+
+void DmaController::abort(ErrorCode code) {
+  if (!busy() || aborted_) return;
+  aborted_ = true;
+  ++aborts_;
+  fail_descriptor(code);
+  chip_.raise_error(regs::kErrDmaAbort);
+  // Forget outstanding non-posted requests: cancel their completion timers
+  // and hand their tags back. A completion that still arrives later is
+  // counted as unexpected (errors_) and otherwise ignored.
+  for (auto& [tag, pr] : pending_reads_) {
+    if (pr.timeout_event != sim::Scheduler::kInvalidEvent) {
+      sched_.cancel(pr.timeout_event);
+    }
+    release_tag(tag);
+  }
+  pending_reads_.clear();
+  outstanding_reads_ = 0;
+  reads_drained_.pulse();
+  // Drop the delivery-notification window: the acks may be stranded behind
+  // a dead link and must not gate chain teardown.
+  pending_acks_.clear();
+  ack_arrived_.clear();
+  ack_event_.pulse();
+  forwards_done_.pulse();
+  // Wake engine coroutines parked on egress backpressure so they can
+  // observe aborted_ and unwind.
+  chip_.pulse_egress_waiters();
+}
+
+void DmaController::on_completion_timeout(std::uint8_t tag) {
+  auto it = pending_reads_.find(tag);
+  if (it == pending_reads_.end()) return;
+  it->second.timeout_event = sim::Scheduler::kInvalidEvent;
+  ++completion_timeouts_;
+  Log::write(LogLevel::kWarn, "dmac", "completion timeout, aborting chain");
+  chip_.raise_error(regs::kErrCompletionTimeout);
+  abort(ErrorCode::kTimedOut);
 }
 
 sim::Task<> DmaController::run_chain(std::vector<DmaDescriptor> chain,
@@ -100,7 +161,8 @@ sim::Task<> DmaController::run_chain(std::vector<DmaDescriptor> chain,
   for (const DmaDescriptor& d : chain) {
     if ((status_ & kStatusError) != 0) break;
     co_await exec_one(d);
-    ++descs_done_;
+    if (!aborted_) ++descs_done_;
+    ++current_desc_;
   }
   co_await complete_chain();
 }
@@ -137,11 +199,11 @@ sim::Task<> DmaController::complete_chain() {
   // every pipelined forward injected, and the egress FIFOs flushed — so a
   // PIO flag issued after the completion signal cannot overtake chain data.
   co_await drain_acks(0);
-  while (outstanding_reads_ > 0) co_await reads_drained_.wait();
-  while (pending_forwards_ > 0) co_await forwards_done_.wait();
-  for (std::size_t p = 0; p < kPortCount; ++p) {
+  while (outstanding_reads_ > 0 && !aborted_) co_await reads_drained_.wait();
+  while (pending_forwards_ > 0 && !aborted_) co_await forwards_done_.wait();
+  for (std::size_t p = 0; p < kPortCount && !aborted_; ++p) {
     const auto port = static_cast<PortId>(p);
-    if (chip_.link_up(port)) co_await chip_.drain_egress(port);
+    if (chip_.link_up(port)) co_await chip_.drain_egress(port, &aborted_);
   }
 
   status_ = (status_ & kStatusError) | kStatusDone;
@@ -159,7 +221,8 @@ sim::Task<> DmaController::complete_chain() {
     std::vector<std::byte> bytes(8);
     std::memcpy(bytes.data(), &value, 8);
     co_await chip_.inject(
-        pcie::Tlp::mem_write(writeback_addr_, bytes, chip_.device_id()));
+        pcie::Tlp::mem_write(writeback_addr_, bytes, chip_.device_id()),
+        &aborted_);
   } else {
     ++interrupts_;
     chip_.raise_interrupt(channel_);
@@ -177,8 +240,7 @@ sim::Task<> DmaController::exec_write(DmaDescriptor d) {
       src->offset - Peach2Chip::kInternalRamOffset + d.length >
           chip_.internal_ram().size() ||
       !dst.has_value() || d.length == 0) {
-    ++errors_;
-    status_ |= kStatusError;
+    fail_descriptor(ErrorCode::kInvalidArgument);
     co_return;
   }
   const std::uint64_t src_off = src->offset - Peach2Chip::kInternalRamOffset;
@@ -189,7 +251,7 @@ sim::Task<> DmaController::exec_write(DmaDescriptor d) {
 
   std::uint8_t ack_tag = 0;
   std::uint64_t sent = 0;
-  while (sent < d.length) {
+  while (sent < d.length && !aborted_) {
     const auto chunk = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(kMaxPayloadBytes, d.length - sent));
     pcie::Tlp tlp = pcie::Tlp::mem_write(
@@ -202,17 +264,18 @@ sim::Task<> DmaController::exec_write(DmaDescriptor d) {
       tlp.ack_address = chip_.internal_block_base();
       tlp.tag = ack_tag;
     }
-    co_await chip_.inject(std::move(tlp));
+    co_await chip_.inject(std::move(tlp), &aborted_);
     sent += chunk;
   }
+  if (aborted_) co_return;
 
   // Chaining-engine serialization: the next descriptor is decoded only
   // after this one's data has left the chip (see drain_egress).
   if (const auto port = chip_.egress_port_for(d.dst); port.has_value()) {
-    co_await chip_.drain_egress(*port);
+    co_await chip_.drain_egress(*port, &aborted_);
   }
 
-  if (want_ack) {
+  if (want_ack && !aborted_) {
     pending_acks_.push_back(ack_tag);
     // Window the delivery notifications: the engine may run one descriptor
     // ahead of the outstanding ack, so per-descriptor cost becomes
@@ -234,8 +297,7 @@ sim::Task<> DmaController::exec_read(DmaDescriptor d) {
           chip_.internal_ram().size() ||
       !src.has_value() || src->node != chip_.node_id() ||
       src->target == TcaTarget::kInternal || d.length == 0) {
-    ++errors_;
-    status_ |= kStatusError;
+    fail_descriptor(ErrorCode::kInvalidArgument);
     co_return;
   }
   const auto local_src = chip_.convert_to_local(*src);
@@ -245,16 +307,27 @@ sim::Task<> DmaController::exec_read(DmaDescriptor d) {
   co_await sim::Delay(sched_, kDescriptorProcessPs);
 
   std::uint64_t issued = 0;
-  while (issued < d.length) {
+  while (issued < d.length && !aborted_) {
     const auto chunk = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(kMaxReadRequestBytes, d.length - issued));
     const std::uint8_t tag = co_await acquire_tag();
+    if (aborted_) {
+      release_tag(tag);
+      co_return;
+    }
     co_await sim::Delay(sched_, kReadIssueIntervalPs);
+    if (aborted_) {
+      release_tag(tag);
+      co_return;
+    }
     pending_reads_[tag] = PendingRead{.dst_internal_offset = dst_off + issued,
                                       .remaining = chunk};
+    pending_reads_[tag].timeout_event = sched_.schedule_after(
+        calib::kCompletionTimeoutPs, [this, tag] { on_completion_timeout(tag); });
     ++outstanding_reads_;
     co_await chip_.inject(pcie::Tlp::mem_read(*local_src + issued, chunk,
-                                              chip_.device_id(), tag));
+                                              chip_.device_id(), tag),
+                          &aborted_);
     issued += chunk;
   }
   // Residual drain bubble at the descriptor boundary (calibrated; see
@@ -272,8 +345,7 @@ sim::Task<> DmaController::exec_pipelined(DmaDescriptor d) {
   if (!src.has_value() || src->node != chip_.node_id() ||
       src->target == TcaTarget::kInternal || !dst.has_value() ||
       dst->target == TcaTarget::kInternal || d.length == 0) {
-    ++errors_;
-    status_ |= kStatusError;
+    fail_descriptor(ErrorCode::kInvalidArgument);
     co_return;
   }
   const auto local_src = chip_.convert_to_local(*src);
@@ -284,12 +356,16 @@ sim::Task<> DmaController::exec_pipelined(DmaDescriptor d) {
   co_await sim::Delay(sched_, kDescriptorProcessPs);
 
   std::uint64_t issued = 0;
-  while (issued < d.length) {
+  while (issued < d.length && !aborted_) {
     const auto chunk = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(kMaxReadRequestBytes, d.length - issued));
     const bool last = issued + chunk == d.length;
     const std::uint8_t tag = co_await acquire_tag();
     co_await sim::Delay(sched_, kReadIssueIntervalPs);
+    if (aborted_) {
+      release_tag(tag);
+      co_return;
+    }
     PendingRead pending{.forward_to = d.dst + issued, .remaining = chunk,
                         .last_of_descriptor = last};
     if (want_ack && last) {
@@ -299,10 +375,13 @@ sim::Task<> DmaController::exec_pipelined(DmaDescriptor d) {
       ack_arrived_[pending.ack_tag] = false;
       pending_acks_.push_back(pending.ack_tag);
     }
+    pending.timeout_event = sched_.schedule_after(
+        calib::kCompletionTimeoutPs, [this, tag] { on_completion_timeout(tag); });
     pending_reads_[tag] = pending;
     ++outstanding_reads_;
     co_await chip_.inject(pcie::Tlp::mem_read(*local_src + issued, chunk,
-                                              chip_.device_id(), tag));
+                                              chip_.device_id(), tag),
+                          &aborted_);
     issued += chunk;
   }
   co_await drain_acks(kRemoteAckWindow - 1);
@@ -332,7 +411,7 @@ void DmaController::on_read_completion(pcie::Tlp cpl) {
     }
     ++pending_forwards_;
     sim::spawn([](DmaController& dmac, pcie::Tlp tlp) -> sim::Task<> {
-      co_await dmac.chip_.inject(std::move(tlp));
+      co_await dmac.chip_.inject(std::move(tlp), &dmac.aborted_);
       if (--dmac.pending_forwards_ == 0) dmac.forwards_done_.pulse();
     }(*this, std::move(out)));
   } else {
@@ -343,6 +422,9 @@ void DmaController::on_read_completion(pcie::Tlp cpl) {
   pr.remaining -= size;
   if (pr.remaining == 0) {
     const std::uint8_t tag = cpl.tag;
+    if (pr.timeout_event != sim::Scheduler::kInvalidEvent) {
+      sched_.cancel(pr.timeout_event);
+    }
     pending_reads_.erase(it);
     release_tag(tag);
     TCA_ASSERT(outstanding_reads_ > 0);
@@ -363,7 +445,10 @@ void DmaController::on_delivery_ack(std::uint8_t tag) {
 sim::Task<> DmaController::drain_acks(std::size_t max_pending) {
   while (pending_acks_.size() > max_pending) {
     const std::uint8_t front = pending_acks_.front();
-    while (!ack_arrived_.at(front)) co_await ack_event_.wait();
+    // An abort clears the window maps while this loop is suspended, so the
+    // abort check must come before any map access.
+    while (!aborted_ && !ack_arrived_.at(front)) co_await ack_event_.wait();
+    if (aborted_) co_return;
     ack_arrived_.erase(front);
     pending_acks_.pop_front();
   }

@@ -89,6 +89,23 @@ class DmaController {
 
   [[nodiscard]] bool busy() const { return (status_ & 1ull) != 0; }
 
+  /// Cooperative chain abort (driver watchdog / error ISR). Marks the chain
+  /// failed with `code`, forgets outstanding reads and delivery
+  /// notifications, and wakes every suspended engine coroutine so the chain
+  /// unwinds and still signals completion (done|error + interrupt or
+  /// writeback) — the driver always gets its completion edge. No-op when
+  /// idle or already aborting.
+  void abort(ErrorCode code);
+  [[nodiscard]] bool aborted() const { return aborted_; }
+
+  /// Fault injection: while stuck, doorbells/kicks are silently swallowed
+  /// (a wedged engine that never sets busy) — the driver-watchdog scenario.
+  void set_stuck(bool stuck) { stuck_ = stuck; }
+
+  /// kDmaBankErrInfo register value: failing descriptor index in the low
+  /// word, ErrorCode in the high word. Valid while the error bit is set.
+  [[nodiscard]] std::uint64_t error_info() const { return error_info_; }
+
   // --- Hooks called by the chip ---------------------------------------------
   void on_read_completion(pcie::Tlp cpl);
   void on_delivery_ack(std::uint8_t tag);
@@ -101,6 +118,12 @@ class DmaController {
   [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
   [[nodiscard]] std::uint64_t bytes_read() const { return bytes_read_; }
   [[nodiscard]] std::uint64_t errors() const { return errors_; }
+  /// Chains aborted (watchdog/error-ISR initiated), a subset of errors().
+  [[nodiscard]] std::uint64_t aborts() const { return aborts_; }
+  /// Non-posted requests whose completion timer expired.
+  [[nodiscard]] std::uint64_t completion_timeouts() const {
+    return completion_timeouts_;
+  }
   /// Chain starts accepted (doorbell, immediate kick, or direct start).
   [[nodiscard]] std::uint64_t doorbells() const { return doorbells_; }
   /// Descriptor-table fetches from host memory (Figure 8's dominant cost).
@@ -127,7 +150,16 @@ class DmaController {
     std::uint8_t ack_tag = 0;
     std::uint32_t remaining = 0;
     bool last_of_descriptor = false;
+    /// Completion-timeout timer armed at MRd issue, cancelled on the final
+    /// completion chunk. Firing aborts the chain with kTimedOut.
+    sim::Scheduler::EventId timeout_event = sim::Scheduler::kInvalidEvent;
   };
+
+  /// Marks chain-start bookkeeping (clears a previous abort/error record).
+  void arm_chain();
+  /// Records a per-descriptor failure into status + error-info.
+  void fail_descriptor(ErrorCode code);
+  void on_completion_timeout(std::uint8_t tag);
 
   sim::Task<std::uint8_t> acquire_tag();
   void release_tag(std::uint8_t tag);
@@ -150,6 +182,10 @@ class DmaController {
   std::uint64_t status_ = 0;
   DmaDescriptor imm_;  ///< register-latched immediate descriptor
   std::uint64_t writeback_addr_ = 0;
+  bool aborted_ = false;
+  bool stuck_ = false;
+  std::uint64_t error_info_ = 0;
+  std::uint32_t current_desc_ = 0;  ///< index of the in-progress descriptor
 
   // Read machinery.
   sim::Semaphore tag_sem_;
@@ -177,6 +213,8 @@ class DmaController {
   std::uint64_t bytes_written_ = 0;
   std::uint64_t bytes_read_ = 0;
   std::uint64_t errors_ = 0;
+  std::uint64_t aborts_ = 0;
+  std::uint64_t completion_timeouts_ = 0;
   std::uint64_t doorbells_ = 0;
   std::uint64_t table_fetches_ = 0;
   std::uint64_t interrupts_ = 0;

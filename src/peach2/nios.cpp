@@ -25,6 +25,7 @@ void NiosController::on_link_change(PortId port, bool up) {
     if (link_view_[p] == up) return;  // duplicate transition collapsed
     link_view_[p] = up;
     events_.push_back(LinkEvent{sched_.now(), port, up});
+    if (link_listener_) link_listener_(port, up);
   });
 }
 

@@ -14,6 +14,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/units.h"
@@ -59,6 +60,16 @@ class NiosController {
     return link_view_[static_cast<std::size_t>(port)];
   }
 
+  /// Registers the (single) listener fired when the firmware services a
+  /// link transition — i.e. kServiceDelay after the hardware edge, with
+  /// duplicates collapsed. This is the hook the fabric manager uses for
+  /// ring failover: reacting at firmware speed, not wire speed, matches the
+  /// paper's division of labor (the NIOS "works only to monitor and manage
+  /// PEARL").
+  void set_link_listener(std::function<void(PortId, bool)> listener) {
+    link_listener_ = std::move(listener);
+  }
+
   // --- Register-file surface (dispatched by the chip) -----------------------
   static constexpr std::uint64_t kCmdClearEvents = 1;
   static constexpr std::uint64_t kCmdPing = 2;
@@ -72,6 +83,7 @@ class NiosController {
   TimePs boot_time_;
   std::array<bool, kPortCount> link_view_{};
   std::vector<LinkEvent> events_;
+  std::function<void(PortId, bool)> link_listener_;
   std::uint64_t pings_ = 0;
 };
 

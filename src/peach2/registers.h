@@ -65,6 +65,24 @@ inline constexpr std::uint64_t kDmaStatusBusy = 1ull << 0;
 inline constexpr std::uint64_t kDmaStatusDone = 1ull << 1;
 inline constexpr std::uint64_t kDmaStatusError = 1ull << 2;
 
+/// Per-bank error info (RO): failing descriptor index | error code << 32.
+/// Valid while kDmaStatusError is set; cleared by the next doorbell/kick.
+inline constexpr std::uint64_t kDmaBankErrInfo = 0x50;
+
+// -- Error reporting (AER-flavored) ------------------------------------------
+// A sticky error-status register, a mask register gating the error
+// interrupt, and a write-1-to-clear acknowledge. Unmasked bits raising in
+// kErrStatus fire the chip's error interrupt toward the driver.
+inline constexpr std::uint64_t kErrStatus = 0x0b0;  // RO, sticky
+inline constexpr std::uint64_t kErrMask = 0x0b8;    // RW, 1 = masked
+inline constexpr std::uint64_t kErrAck = 0x0c0;     // WO, write-1-to-clear
+
+/// kErrStatus bits.
+inline constexpr std::uint64_t kErrCompletionTimeout = 1ull << 0;
+inline constexpr std::uint64_t kErrUnroutable = 1ull << 1;
+inline constexpr std::uint64_t kErrReplayThreshold = 1ull << 2;
+inline constexpr std::uint64_t kErrDmaAbort = 1ull << 3;
+
 // -- Address conversion (Section III-E, "only at Port N") --------------------
 inline constexpr std::uint64_t kConvWindowBase = 0x080;
 inline constexpr std::uint64_t kConvWindowSize = 0x088;

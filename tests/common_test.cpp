@@ -74,6 +74,23 @@ TEST(Status, ErrorCarriesCodeAndMessage) {
   EXPECT_EQ(s.to_string(), "UNREACHABLE: no route to node 3");
 }
 
+TEST(Status, EveryErrorCodeRoundTripsThroughToString) {
+  // A new ErrorCode cannot ship unnamed: every value in the enum's range
+  // must render to a unique, non-fallback string.
+  std::set<std::string> names;
+  for (int i = 0; i < kErrorCodeCount; ++i) {
+    const char* name = to_string(static_cast<ErrorCode>(i));
+    EXPECT_STRNE(name, "UNKNOWN") << "ErrorCode " << i << " has no name";
+    EXPECT_TRUE(names.insert(name).second) << name << " used twice";
+  }
+  EXPECT_STREQ(to_string(static_cast<ErrorCode>(kErrorCodeCount)), "UNKNOWN");
+}
+
+TEST(Status, RecoveryCodesRender) {
+  EXPECT_STREQ(to_string(ErrorCode::kTimedOut), "TIMED_OUT");
+  EXPECT_STREQ(to_string(ErrorCode::kLinkDown), "LINK_DOWN");
+}
+
 TEST(Result, Value) {
   Result<int> r(42);
   ASSERT_TRUE(r.is_ok());

@@ -151,17 +151,21 @@ TEST(Driver, InternalRamReadableOverMmio) {
 TEST(Driver, RegisterRoundTripThroughWindow) {
   Rig rig;
   Peach2Driver& drv = rig.cluster.driver(0);
-  auto prog = [&]() -> sim::Task<> {
+  // Named closures: a temporary lambda dies at the semicolon while the
+  // eager coroutine is still suspended on MMIO, dangling its captures.
+  auto prog_fn = [&]() -> sim::Task<> {
     co_await drv.write_register(regs::kDmaTableAddr, 0xABCD'0000ull);
-  }();
+  };
+  auto prog = prog_fn();
   rig.sched.run();
   // Readback through the same MMIO path (write_register went to the DMAC;
   // the register file reflects it via kDmaWritebackAddr read slot; the
   // table address itself is write-only in hardware, so verify behaviorally:
   // the DMAC sees it on doorbell with count 0 -> error, not a crash).
-  auto err = [&]() -> sim::Task<> {
+  auto err_fn = [&]() -> sim::Task<> {
     co_await drv.write_register(regs::kDmaDoorbell, 1);
-  }();
+  };
+  auto err = err_fn();
   rig.sched.run();
   EXPECT_NE(rig.cluster.chip(0).dmac().status() & 4ull, 0u);
 }

@@ -434,14 +434,16 @@ TEST(SubCluster, RegisterPathProgramsRoutingEntry) {
   auto& drv = tca.driver(0);
   const std::uint64_t base = r::kRouteBase + 10 * r::kRouteStride;
 
-  auto prog = [&]() -> sim::Task<> {
+  // Named closure: it must outlive the coroutine suspended on MMIO.
+  auto prog_fn = [&]() -> sim::Task<> {
     co_await drv.write_register(base + r::kRouteMask, ~0xffull);
     co_await drv.write_register(base + r::kRouteLower, 0xabc00);
     co_await drv.write_register(base + r::kRouteUpper, 0xabc00);
     co_await drv.write_register(base + r::kRoutePort,
                                 static_cast<std::uint64_t>(
                                     peach2::PortId::kSouth));
-  }();
+  };
+  auto prog = prog_fn();
   sched.run();
   ASSERT_TRUE(prog.done());
 

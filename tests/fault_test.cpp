@@ -158,10 +158,13 @@ TEST(Nios, ManagementCommandsPingAndClear) {
   namespace r = peach2::regs;
   Peach2Driver& drv = tca.driver(0);
 
-  auto cmds = [&]() -> sim::Task<> {
+  // The closure must outlive the coroutine: a temporary lambda would be
+  // destroyed at the semicolon while the task is still suspended on MMIO.
+  auto cmds_fn = [&]() -> sim::Task<> {
     co_await drv.write_register(r::kNiosCmd, peach2::NiosController::kCmdPing);
     co_await drv.write_register(r::kNiosCmd, peach2::NiosController::kCmdPing);
-  }();
+  };
+  auto cmds = cmds_fn();
   sched.run();
   auto pings = drv.read_register(r::kNiosPingCount);
   sched.run();
@@ -237,12 +240,14 @@ TEST(DmacErrors, ImmediateKickValidatesLength) {
   namespace r = peach2::regs;
   auto& drv = tca.driver(0);
 
-  auto prog = [&]() -> sim::Task<> {
+  // Named closure: it must outlive the suspended coroutine (see above).
+  auto prog_fn = [&]() -> sim::Task<> {
     co_await drv.write_register(r::kDmaImmSrc, drv.internal_global(0));
     co_await drv.write_register(r::kDmaImmDst, tca.global_host(1, 0));
     co_await drv.write_register(r::kDmaImmLen, 0);  // zero length
     co_await drv.write_register(r::kDmaImmKick, 1);
-  }();
+  };
+  auto prog = prog_fn();
   sched.run();
   EXPECT_NE(tca.chip(0).dmac().status() & 4ull, 0u);  // error latched
   EXPECT_FALSE(tca.chip(0).dmac().busy());

@@ -12,6 +12,12 @@
 //   tca_explore --topology dual-ring --nodes 8 --target remote-gpu
 //   tca_explore --stats                           # metrics JSON on stdout
 //   tca_explore --stats-out metrics.json          # ... or to a file
+//
+// Fault campaigns (see fabric::FaultPlan::parse for the grammar):
+//   tca_explore --target remote-host --fault-plan "flap:cable=0,at=5us,for=100us"
+//   tca_explore --fault-plan "cut:cable=0,at=2us" --deadline 2000 --attempts 3
+//   tca_explore --fault-plan "ber:cable=0,at=0,for=1ms,rate=1e-6" --stats
+//   tca_explore --no-failover --fault-plan "cut:cable=0,at=2us" --deadline 500
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,6 +26,7 @@
 
 #include "bench/bench_util.h"
 #include "common/trace.h"
+#include "fabric/fault_plan.h"
 #include "obs/metrics.h"
 
 using namespace tca;
@@ -40,6 +47,10 @@ struct Options {
   std::string trace_path;  // chrome://tracing JSON output
   bool stats = false;      // print the metrics JSON snapshot at exit
   std::string stats_path;  // write the metrics JSON to a file instead
+  fabric::FaultPlan fault_plan;   // deterministic fault campaign
+  bool failover = true;           // ring failover on cable death
+  std::uint32_t deadline_us = 0;  // per-attempt chain watchdog (0 = off)
+  std::uint32_t attempts = 1;     // doorbell attempts per chain
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -49,7 +60,9 @@ struct Options {
       "[--op write|read|pipelined|pio]\n"
       "          [--target local-host|local-gpu|remote-host|remote-gpu]\n"
       "          [--burst K] [--dest NODE] [--sizes a,b,c]\n"
-      "          [--trace FILE] [--stats] [--stats-out FILE]\n",
+      "          [--trace FILE] [--stats] [--stats-out FILE]\n"
+      "          [--fault-plan SPEC] [--no-failover] [--deadline USEC]\n"
+      "          [--attempts N]\n",
       argv0);
   std::exit(2);
 }
@@ -103,6 +116,19 @@ Options parse(int argc, char** argv) {
       opt.stats = true;
     } else if (a == "--stats-out") {
       opt.stats_path = next();
+    } else if (a == "--fault-plan") {
+      auto plan = fabric::FaultPlan::parse(next());
+      if (!plan.is_ok()) {
+        std::fprintf(stderr, "error: %s\n", plan.status().to_string().c_str());
+        std::exit(2);
+      }
+      opt.fault_plan = std::move(plan).value();
+    } else if (a == "--no-failover") {
+      opt.failover = false;
+    } else if (a == "--deadline") {
+      opt.deadline_us = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (a == "--attempts") {
+      opt.attempts = static_cast<std::uint32_t>(std::stoul(next()));
     } else {
       usage(argv[0]);
     }
@@ -131,7 +157,9 @@ int main(int argc, char** argv) {
                  .topology = opt.topology,
                  .node_config = {.gpu_count = 2,
                                  .host_backing_bytes = 64ull << 20,
-                                 .gpu_backing_bytes = 8ull << 20}});
+                                 .gpu_backing_bytes = 8ull << 20},
+                 .fault_plan = opt.fault_plan,
+                 .enable_failover = opt.failover});
   driver::Peach2Driver& drv = tca.driver(0);
 
   // Stage data and pin GPU windows.
@@ -204,9 +232,28 @@ int main(int argc, char** argv) {
         }
         chain.push_back(d);
       }
-      auto t = drv.run_chain(std::move(chain));
-      sched.run();
-      elapsed = t.result();
+      if (opt.deadline_us > 0 || opt.attempts > 1) {
+        auto t = drv.run_chain_reliable(
+            std::move(chain),
+            driver::RetryPolicy{
+                .max_attempts = opt.attempts,
+                .timeout_ps = opt.deadline_us > 0 ? units::us(opt.deadline_us)
+                                                  : calib::kChainWatchdogPs});
+        sched.run();
+        const driver::ChainResult result = t.result();
+        elapsed = result.elapsed;
+        if (!result.status.is_ok()) {
+          std::printf("  size %u: %s after %u attempt(s)\n", size,
+                      result.status.to_string().c_str(), result.attempts);
+        } else if (result.attempts > 1) {
+          std::printf("  size %u: recovered on attempt %u\n", size,
+                      result.attempts);
+        }
+      } else {
+        auto t = drv.run_chain(std::move(chain));
+        sched.run();
+        elapsed = t.result();
+      }
     }
     table.add_row(
         {units::format_size(size), units::format_time(elapsed),
@@ -215,6 +262,31 @@ int main(int argc, char** argv) {
          units::format_time(elapsed / opt.burst)});
   }
   table.print();
+
+  if (!opt.fault_plan.empty()) {
+    std::uint64_t dropped = 0, replays = 0;
+    for (std::size_t k = 0; k < tca.cable_count(); ++k) {
+      dropped += tca.cable(k).end_a().dropped_tlps() +
+                 tca.cable(k).end_b().dropped_tlps();
+      replays +=
+          tca.cable(k).end_a().replays() + tca.cable(k).end_b().replays();
+    }
+    std::uint64_t error_irqs = 0;
+    for (std::uint32_t n = 0; n < opt.nodes; ++n) {
+      error_irqs += tca.chip(n).error_interrupts();
+    }
+    std::printf(
+        "recovery: failovers=%llu failbacks=%llu dropped_tlps=%llu "
+        "replays=%llu error_irqs=%llu watchdog_timeouts=%llu retries=%llu\n",
+        static_cast<unsigned long long>(tca.failovers()),
+        static_cast<unsigned long long>(tca.failbacks()),
+        static_cast<unsigned long long>(dropped),
+        static_cast<unsigned long long>(replays),
+        static_cast<unsigned long long>(error_irqs),
+        static_cast<unsigned long long>(drv.watchdog_timeouts()),
+        static_cast<unsigned long long>(drv.chain_retries()));
+  }
+
   if (opt.stats || !opt.stats_path.empty()) {
     obs::MetricRegistry reg;
     tca.export_metrics(reg);
