@@ -151,7 +151,7 @@ int main() {
   for (std::uint32_t me = 0; me < kNodes; ++me) {
     mpi_staging[me].resize(kNodes * kRowsPer * kColsPer);
     sim::spawn([](baseline::MpiLite& m, node::ComputeNode& node_ref,
-                  std::uint32_t n, const std::vector<double>& block,
+                  std::uint32_t n, std::vector<double> block,
                   std::vector<double>& stage) -> sim::Task<> {
       // cudaMemcpy the whole block down once.
       std::vector<double> host(block.size());

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Fast pre-commit gate: Release build with warnings, full test suite (soak
-# label excluded — run `ctest -L soak` for the long fault campaigns), a
-# sanitizer pass over the fault suites, and a ~1 s bench_sim_core smoke run
-# (scheduler speedup tripwire + allocation, determinism and
-# backend-equivalence checks).
+# Fast pre-commit gate: Release build with warnings, tca_lint over the
+# whole tree (coroutine-lifetime / determinism / register-map invariants),
+# a clang-tidy baseline diff (skipped when clang-tidy is not installed),
+# full test suite (soak label excluded — run `ctest -L soak` for the long
+# fault campaigns), a sanitizer pass over the fault suites, and a ~1 s
+# bench_sim_core smoke run (scheduler speedup tripwire + allocation,
+# determinism and backend-equivalence checks).
 #
 # For a full instrumented pass, configure with -DTCA_SANITIZE=address (or
 # undefined) and re-run the whole suite.
@@ -14,6 +16,12 @@ BUILD=build-check
 
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
 cmake --build "$BUILD" -j
+
+echo "== tca_lint (project invariants) =="
+"$BUILD"/tools/tca_lint/tca_lint --root .
+
+echo "== clang-tidy (baseline diff; skips when not installed) =="
+scripts/clang_tidy.sh "$BUILD"
 
 echo "== tests =="
 ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" -LE soak

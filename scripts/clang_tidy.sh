@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# clang-tidy gate with a committed baseline.
+#
+#   scripts/clang_tidy.sh [BUILD_DIR]          diff findings vs the baseline
+#   scripts/clang_tidy.sh --update [BUILD_DIR] reseed the baseline
+#
+# Behavior:
+#  * clang-tidy absent       -> report and exit 0 (the dev container does
+#                               not ship it; CI installs it).
+#  * baseline uninitialized  -> report findings informationally, exit 0.
+#  * otherwise               -> fail on any finding not in the baseline.
+#
+# Findings are normalized to `relative/path [check-name]` lines so line
+# numbers drifting with unrelated edits do not churn the baseline.
+set -eu
+cd "$(dirname "$0")/.."
+
+UPDATE=0
+if [ "${1:-}" = "--update" ]; then
+  UPDATE=1
+  shift
+fi
+BUILD="${1:-build-check}"
+BASELINE=tools/tca_lint/clang_tidy_baseline.txt
+
+if ! command -v clang-tidy > /dev/null 2>&1; then
+  echo "clang_tidy.sh: clang-tidy not installed — skipping (CI runs it)"
+  exit 0
+fi
+
+if [ ! -f "$BUILD/compile_commands.json" ]; then
+  cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+fi
+
+# Sources under src/ and the lint tool itself; tests and benches are
+# covered by tca_lint plus their own suites.
+mapfile -t SOURCES < <(find src tools/tca_lint -name '*.cpp' | sort)
+
+RAW=$(mktemp)
+CURRENT=$(mktemp)
+trap 'rm -f "$RAW" "$CURRENT"' EXIT
+
+clang-tidy -p "$BUILD" --quiet "${SOURCES[@]}" > "$RAW" 2> /dev/null || true
+
+# `/abs/path/file.cpp:12:3: warning: ... [check-name]` -> `path [check-name]`
+ROOT=$(pwd)
+sed -n "s|^$ROOT/\([^:]*\):[0-9]*:[0-9]*: warning: .*\(\[[A-Za-z0-9.,-]*\]\)\$|\1 \2|p" \
+  "$RAW" | sort -u > "$CURRENT"
+
+if [ "$UPDATE" -eq 1 ]; then
+  {
+    echo "# clang-tidy baseline for scripts/clang_tidy.sh."
+    echo "# One \`path [check]\` line per accepted pre-existing finding;"
+    echo "# regenerate with \`scripts/clang_tidy.sh --update\`."
+    cat "$CURRENT"
+  } > "$BASELINE"
+  echo "clang_tidy.sh: baseline updated ($(wc -l < "$CURRENT") findings)"
+  exit 0
+fi
+
+if grep -q '^# status: uninitialized$' "$BASELINE"; then
+  echo "clang_tidy.sh: baseline uninitialized — reporting only"
+  cat "$CURRENT"
+  echo "clang_tidy.sh: $(wc -l < "$CURRENT") finding(s); run with --update to seed the baseline"
+  exit 0
+fi
+
+NEW=$(grep -v '^#' "$BASELINE" | sort -u | comm -13 - "$CURRENT")
+if [ -n "$NEW" ]; then
+  echo "clang_tidy.sh: new findings not in the baseline:"
+  echo "$NEW"
+  exit 1
+fi
+echo "clang_tidy.sh: OK (no findings beyond the baseline)"

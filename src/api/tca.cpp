@@ -421,7 +421,7 @@ sim::Task<SyncReport> Stream::synchronize(SyncOptions options) {
   co_return report;
 }
 
-sim::Task<> Runtime::notify(std::uint32_t from_node, const Buffer& host_flag,
+sim::Task<> Runtime::notify(std::uint32_t from_node, Buffer host_flag,
                             std::uint64_t offset, std::uint32_t value) {
   TCA_ASSERT(host_flag.is_host());
   TCA_ASSERT(validate(host_flag, offset, 4).is_ok());
@@ -430,7 +430,7 @@ sim::Task<> Runtime::notify(std::uint32_t from_node, const Buffer& host_flag,
       global_addr(host_flag, offset), value);
 }
 
-sim::Task<> Runtime::wait_flag(const Buffer& host_flag, std::uint64_t offset,
+sim::Task<> Runtime::wait_flag(Buffer host_flag, std::uint64_t offset,
                                std::uint32_t expected) {
   TCA_ASSERT(host_flag.is_host());
   ++metrics_.wait_flag_ops;

@@ -172,12 +172,13 @@ class Runtime {
   // --- Synchronization flags ---------------------------------------------------
 
   /// Writes a 32-bit flag into a (usually remote) host buffer via PIO.
-  /// `from_node` is the storing side.
-  sim::Task<> notify(std::uint32_t from_node, const Buffer& host_flag,
+  /// `from_node` is the storing side. Buffer is taken by value — a
+  /// reference coroutine parameter could dangle across suspension.
+  sim::Task<> notify(std::uint32_t from_node, Buffer host_flag,
                      std::uint64_t offset, std::uint32_t value);
 
   /// Polls a local host flag until it equals `expected`.
-  sim::Task<> wait_flag(const Buffer& host_flag, std::uint64_t offset,
+  sim::Task<> wait_flag(Buffer host_flag, std::uint64_t offset,
                         std::uint32_t expected);
 
   // --- Observability -----------------------------------------------------------

@@ -13,6 +13,15 @@ using calib::kRegAccessPs;
 using calib::kRouteLatencyPs;
 using calib::kRouteOccupancyPs;
 
+// The register map's decoded regions must agree with the structures they
+// front: the address decoder below dispatches by these same bounds.
+static_assert(regs::kDmaChannelBanks ==
+                  static_cast<std::uint64_t>(calib::kDmaChannels),
+              "registers.h DMA bank count must match calib::kDmaChannels");
+static_assert(regs::kRouteEntries == RoutingTable::kCapacity,
+              "registers.h route-entry count must match "
+              "RoutingTable::kCapacity");
+
 namespace {
 constexpr std::size_t idx(PortId port) { return static_cast<std::size_t>(port); }
 }  // namespace

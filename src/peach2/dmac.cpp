@@ -176,7 +176,9 @@ sim::Task<> DmaController::run_immediate(DmaDescriptor d) {
   co_await complete_chain();
 }
 
-sim::Task<> DmaController::exec_one(const DmaDescriptor& d) {
+// By value: coroutine parameters taken by reference can dangle across the
+// first suspension; the descriptor is small and is moved into the frame.
+sim::Task<> DmaController::exec_one(DmaDescriptor d) {
   const TimePs begin = sched_.now();
   switch (d.direction) {
     case DmaDirection::kWrite: co_await exec_write(d); break;

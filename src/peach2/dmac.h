@@ -22,8 +22,8 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "calib/calibration.h"
@@ -134,7 +134,7 @@ class DmaController {
  private:
   sim::Task<> run_chain(std::vector<DmaDescriptor> chain, bool fetch_table);
   sim::Task<> run_immediate(DmaDescriptor d);
-  sim::Task<> exec_one(const DmaDescriptor& d);
+  sim::Task<> exec_one(DmaDescriptor d);
   sim::Task<> complete_chain();
   sim::Task<> exec_write(DmaDescriptor d);
   sim::Task<> exec_read(DmaDescriptor d);
@@ -190,7 +190,10 @@ class DmaController {
   // Read machinery.
   sim::Semaphore tag_sem_;
   std::vector<std::uint8_t> free_tags_;
-  std::unordered_map<std::uint8_t, PendingRead> pending_reads_;
+  // Ordered map: abort() walks the outstanding reads and hands their tags
+  // back, and that walk must be deterministic (the free-tag list feeds
+  // later tag assignment, so unordered iteration would diverge replay).
+  std::map<std::uint8_t, PendingRead> pending_reads_;
   std::uint32_t outstanding_reads_ = 0;
   sim::Trigger reads_drained_;
 
@@ -202,7 +205,7 @@ class DmaController {
 
   // Remote-write delivery-notification window.
   std::deque<std::uint8_t> pending_acks_;
-  std::unordered_map<std::uint8_t, bool> ack_arrived_;
+  std::map<std::uint8_t, bool> ack_arrived_;
   sim::Trigger ack_event_;
   std::uint8_t next_ack_tag_ = 0;
 

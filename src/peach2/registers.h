@@ -5,6 +5,20 @@
 // doorbell, interrupt acknowledge, and NIOS-maintained link status. Tests
 // may also use the structured accessors directly (the register path and the
 // struct path share the same state).
+//
+// Every register constant carries a structured annotation in its same-line
+// comment, consumed by tools/tca_lint (reg-* rules) and mirrored in the
+// constexpr kRegMap table at the bottom of this header:
+//
+//   // RO | RW | WO          absolute BAR0 register (8 bytes unless span:N)
+//   // RW bank:dma           field relative to a DMA channel bank
+//   // RW bank:route         field relative to a route-table entry
+//   // alias                 channel-0 convenience alias (base + field)
+//   span:N                   register occupies N bytes (e.g. per-port array)
+//
+// The kRegMap table re-states offset/access/bank/span for each register and
+// is validated by static_assert below; tca_lint cross-checks the comments
+// against the table so neither representation can rot alone.
 #pragma once
 
 #include <cstdint>
@@ -22,40 +36,48 @@ inline constexpr std::uint64_t kChipIdValue = 0x0000'3248'4341'4550ull;
 inline constexpr std::uint64_t kLogicVersionValue = 20121112;
 
 // -- DMA controller ----------------------------------------------------------
-// The chip carries kDmaChannels independent DMA engines (the production
+// The chip carries kDmaChannelBanks independent DMA engines (the production
 // PEACH2 board's multi-channel DMAC); each channel has a register bank of
-// kDmaBankStride bytes at kDmaBankBase + channel * kDmaBankStride.
+// kDmaBankStride bytes at kDmaBankBase + channel * kDmaBankStride. The bank
+// count must match calib::kDmaChannels (static_assert in chip.cpp).
 inline constexpr std::uint64_t kDmaBankBase = 0x200;
 inline constexpr std::uint64_t kDmaBankStride = 0x80;
+inline constexpr std::uint64_t kDmaChannelBanks = 4;
 
 // Offsets within a channel bank:
-inline constexpr std::uint64_t kDmaBankTableAddr = 0x00;  // RW
-inline constexpr std::uint64_t kDmaBankCount = 0x08;      // RW
-inline constexpr std::uint64_t kDmaBankDoorbell = 0x10;   // WO
-inline constexpr std::uint64_t kDmaBankStatus = 0x18;     // RO
-inline constexpr std::uint64_t kDmaBankIntAck = 0x20;     // WO
-inline constexpr std::uint64_t kDmaBankImmSrc = 0x28;     // RW
-inline constexpr std::uint64_t kDmaBankImmDst = 0x30;     // RW
-inline constexpr std::uint64_t kDmaBankImmLen = 0x38;     // RW: len|dir<<32
-inline constexpr std::uint64_t kDmaBankImmKick = 0x40;    // WO
-inline constexpr std::uint64_t kDmaBankWriteback = 0x48;  // RW
+inline constexpr std::uint64_t kDmaBankTableAddr = 0x00;  // RW bank:dma
+inline constexpr std::uint64_t kDmaBankCount = 0x08;      // RW bank:dma
+inline constexpr std::uint64_t kDmaBankDoorbell = 0x10;   // WO bank:dma
+inline constexpr std::uint64_t kDmaBankStatus = 0x18;     // RO bank:dma
+inline constexpr std::uint64_t kDmaBankIntAck = 0x20;     // WO bank:dma
+inline constexpr std::uint64_t kDmaBankImmSrc = 0x28;     // RW bank:dma
+inline constexpr std::uint64_t kDmaBankImmDst = 0x30;     // RW bank:dma
+inline constexpr std::uint64_t kDmaBankImmLen = 0x38;     // RW bank:dma: len|dir<<32
+inline constexpr std::uint64_t kDmaBankImmKick = 0x40;    // WO bank:dma
+inline constexpr std::uint64_t kDmaBankWriteback = 0x48;  // RW bank:dma
+/// Per-bank error info: failing descriptor index | error code << 32.
+/// Valid while kDmaStatusError is set; cleared by the next doorbell/kick.
+inline constexpr std::uint64_t kDmaBankErrInfo = 0x50;    // RO bank:dma
 
 constexpr std::uint64_t dma_bank(int channel, std::uint64_t field) {
   return kDmaBankBase +
          static_cast<std::uint64_t>(channel) * kDmaBankStride + field;
 }
 
-// Channel-0 aliases (the common single-channel path).
-inline constexpr std::uint64_t kDmaTableAddr = kDmaBankBase + kDmaBankTableAddr;
-inline constexpr std::uint64_t kDmaCount = kDmaBankBase + kDmaBankCount;
-inline constexpr std::uint64_t kDmaDoorbell = kDmaBankBase + kDmaBankDoorbell;
-inline constexpr std::uint64_t kDmaStatus = kDmaBankBase + kDmaBankStatus;
-inline constexpr std::uint64_t kIntAck = kDmaBankBase + kDmaBankIntAck;
-inline constexpr std::uint64_t kDmaImmSrc = kDmaBankBase + kDmaBankImmSrc;
-inline constexpr std::uint64_t kDmaImmDst = kDmaBankBase + kDmaBankImmDst;
-inline constexpr std::uint64_t kDmaImmLen = kDmaBankBase + kDmaBankImmLen;
-inline constexpr std::uint64_t kDmaImmKick = kDmaBankBase + kDmaBankImmKick;
-inline constexpr std::uint64_t kDmaWritebackAddr =
+// Channel-0 conveniences (the common single-channel path).
+inline constexpr std::uint64_t kDmaTableAddr =  // alias
+    kDmaBankBase + kDmaBankTableAddr;
+inline constexpr std::uint64_t kDmaCount = kDmaBankBase + kDmaBankCount;  // alias
+inline constexpr std::uint64_t kDmaDoorbell =  // alias
+    kDmaBankBase + kDmaBankDoorbell;
+inline constexpr std::uint64_t kDmaStatus = kDmaBankBase + kDmaBankStatus;  // alias
+inline constexpr std::uint64_t kIntAck = kDmaBankBase + kDmaBankIntAck;  // alias
+inline constexpr std::uint64_t kDmaImmSrc = kDmaBankBase + kDmaBankImmSrc;  // alias
+inline constexpr std::uint64_t kDmaImmDst = kDmaBankBase + kDmaBankImmDst;  // alias
+inline constexpr std::uint64_t kDmaImmLen = kDmaBankBase + kDmaBankImmLen;  // alias
+inline constexpr std::uint64_t kDmaImmKick =  // alias
+    kDmaBankBase + kDmaBankImmKick;
+inline constexpr std::uint64_t kDmaWritebackAddr =  // alias
     kDmaBankBase + kDmaBankWriteback;
 
 inline constexpr std::uint64_t kMailboxCount = 0x048;  // RO: acks received
@@ -65,17 +87,13 @@ inline constexpr std::uint64_t kDmaStatusBusy = 1ull << 0;
 inline constexpr std::uint64_t kDmaStatusDone = 1ull << 1;
 inline constexpr std::uint64_t kDmaStatusError = 1ull << 2;
 
-/// Per-bank error info (RO): failing descriptor index | error code << 32.
-/// Valid while kDmaStatusError is set; cleared by the next doorbell/kick.
-inline constexpr std::uint64_t kDmaBankErrInfo = 0x50;
-
 // -- Error reporting (AER-flavored) ------------------------------------------
 // A sticky error-status register, a mask register gating the error
 // interrupt, and a write-1-to-clear acknowledge. Unmasked bits raising in
 // kErrStatus fire the chip's error interrupt toward the driver.
-inline constexpr std::uint64_t kErrStatus = 0x0b0;  // RO, sticky
-inline constexpr std::uint64_t kErrMask = 0x0b8;    // RW, 1 = masked
-inline constexpr std::uint64_t kErrAck = 0x0c0;     // WO, write-1-to-clear
+inline constexpr std::uint64_t kErrStatus = 0x0b0;  // RO: sticky
+inline constexpr std::uint64_t kErrMask = 0x0b8;    // RW: 1 = masked
+inline constexpr std::uint64_t kErrAck = 0x0c0;     // WO: write-1-to-clear
 
 /// kErrStatus bits.
 inline constexpr std::uint64_t kErrCompletionTimeout = 1ull << 0;
@@ -84,37 +102,173 @@ inline constexpr std::uint64_t kErrReplayThreshold = 1ull << 2;
 inline constexpr std::uint64_t kErrDmaAbort = 1ull << 3;
 
 // -- Address conversion (Section III-E, "only at Port N") --------------------
-inline constexpr std::uint64_t kConvWindowBase = 0x080;
-inline constexpr std::uint64_t kConvWindowSize = 0x088;
-inline constexpr std::uint64_t kConvNodeCount = 0x090;
-inline constexpr std::uint64_t kConvLocalGpu0 = 0x098;
-inline constexpr std::uint64_t kConvLocalGpu1 = 0x0a0;
-inline constexpr std::uint64_t kConvLocalHost = 0x0a8;
+inline constexpr std::uint64_t kConvWindowBase = 0x080;  // RW
+inline constexpr std::uint64_t kConvWindowSize = 0x088;  // RW
+inline constexpr std::uint64_t kConvNodeCount = 0x090;   // RW
+inline constexpr std::uint64_t kConvLocalGpu0 = 0x098;   // RW
+inline constexpr std::uint64_t kConvLocalGpu1 = 0x0a0;   // RW
+inline constexpr std::uint64_t kConvLocalHost = 0x0a8;   // RW
 
 // -- Routing table -----------------------------------------------------------
 // Entry i occupies 4 consecutive 64-bit registers starting at
-// kRouteBase + i*kRouteStride: MASK, LOWER, UPPER, PORT.
+// kRouteBase + i*kRouteStride: MASK, LOWER, UPPER, PORT. The entry count
+// must match RoutingTable::kCapacity (static_assert in chip.cpp).
 inline constexpr std::uint64_t kRouteBase = 0x400;
 inline constexpr std::uint64_t kRouteStride = 0x20;
-inline constexpr std::uint64_t kRouteMask = 0x00;
-inline constexpr std::uint64_t kRouteLower = 0x08;
-inline constexpr std::uint64_t kRouteUpper = 0x10;
-inline constexpr std::uint64_t kRoutePort = 0x18;
+inline constexpr std::uint64_t kRouteEntries = 64;
+inline constexpr std::uint64_t kRouteMask = 0x00;   // RW bank:route
+inline constexpr std::uint64_t kRouteLower = 0x08;  // RW bank:route
+inline constexpr std::uint64_t kRouteUpper = 0x10;  // RW bank:route
+inline constexpr std::uint64_t kRoutePort = 0x18;   // RW bank:route
 
 // -- NIOS management processor ----------------------------------------------
 // Link status per port (N/E/W/S), maintained by the management firmware.
-inline constexpr std::uint64_t kLinkStatusBase = 0xc00;  // + 8*port, RO
+inline constexpr std::uint64_t kLinkStatusBase = 0xc00;  // RO span:32: + 8*port
 inline constexpr std::uint64_t kLinkUp = 1;
 inline constexpr std::uint64_t kLinkDown = 0;
 
 // Firmware telemetry and the management-command mailbox.
 inline constexpr std::uint64_t kNiosEventCount = 0xc20;  // RO
-inline constexpr std::uint64_t kNiosUptime = 0xc28;      // RO, nanoseconds
+inline constexpr std::uint64_t kNiosUptime = 0xc28;      // RO: nanoseconds
 inline constexpr std::uint64_t kNiosCmd = 0xc30;         // WO
 inline constexpr std::uint64_t kNiosPingCount = 0xc38;   // RO
 inline constexpr std::uint64_t kNiosLastEvent = 0xc40;   // RO: port | up<<8
 
 /// Register window size (must fit in the BAR claimed by the node).
 inline constexpr std::uint64_t kWindowBytes = 64 << 10;
+
+// -- Machine-checkable register map ------------------------------------------
+// One row per register: the same offset/access/bank/span facts as the
+// annotated constants above, in a form both static_assert and tca_lint can
+// consume. Keep the two in sync — the linter's reg-table-mismatch rule
+// flags any drift.
+
+enum class RegAccess : std::uint8_t { kRO, kRW, kWO };
+enum class RegBank : std::uint8_t { kGlobal, kDmaChannel, kRouteEntry };
+
+struct RegSpec {
+  std::uint64_t offset;
+  RegAccess access;
+  RegBank bank;
+  const char* name;
+  std::uint64_t span = 8;
+};
+
+inline constexpr RegSpec kRegMap[] = {
+    {kChipId, RegAccess::kRO, RegBank::kGlobal, "kChipId"},
+    {kLogicVersion, RegAccess::kRO, RegBank::kGlobal, "kLogicVersion"},
+    {kNodeId, RegAccess::kRW, RegBank::kGlobal, "kNodeId"},
+    {kMailboxCount, RegAccess::kRO, RegBank::kGlobal, "kMailboxCount"},
+    {kConvWindowBase, RegAccess::kRW, RegBank::kGlobal, "kConvWindowBase"},
+    {kConvWindowSize, RegAccess::kRW, RegBank::kGlobal, "kConvWindowSize"},
+    {kConvNodeCount, RegAccess::kRW, RegBank::kGlobal, "kConvNodeCount"},
+    {kConvLocalGpu0, RegAccess::kRW, RegBank::kGlobal, "kConvLocalGpu0"},
+    {kConvLocalGpu1, RegAccess::kRW, RegBank::kGlobal, "kConvLocalGpu1"},
+    {kConvLocalHost, RegAccess::kRW, RegBank::kGlobal, "kConvLocalHost"},
+    {kErrStatus, RegAccess::kRO, RegBank::kGlobal, "kErrStatus"},
+    {kErrMask, RegAccess::kRW, RegBank::kGlobal, "kErrMask"},
+    {kErrAck, RegAccess::kWO, RegBank::kGlobal, "kErrAck"},
+    {kLinkStatusBase, RegAccess::kRO, RegBank::kGlobal, "kLinkStatusBase", 32},
+    {kNiosEventCount, RegAccess::kRO, RegBank::kGlobal, "kNiosEventCount"},
+    {kNiosUptime, RegAccess::kRO, RegBank::kGlobal, "kNiosUptime"},
+    {kNiosCmd, RegAccess::kWO, RegBank::kGlobal, "kNiosCmd"},
+    {kNiosPingCount, RegAccess::kRO, RegBank::kGlobal, "kNiosPingCount"},
+    {kNiosLastEvent, RegAccess::kRO, RegBank::kGlobal, "kNiosLastEvent"},
+    {kDmaBankTableAddr, RegAccess::kRW, RegBank::kDmaChannel,
+     "kDmaBankTableAddr"},
+    {kDmaBankCount, RegAccess::kRW, RegBank::kDmaChannel, "kDmaBankCount"},
+    {kDmaBankDoorbell, RegAccess::kWO, RegBank::kDmaChannel,
+     "kDmaBankDoorbell"},
+    {kDmaBankStatus, RegAccess::kRO, RegBank::kDmaChannel, "kDmaBankStatus"},
+    {kDmaBankIntAck, RegAccess::kWO, RegBank::kDmaChannel, "kDmaBankIntAck"},
+    {kDmaBankImmSrc, RegAccess::kRW, RegBank::kDmaChannel, "kDmaBankImmSrc"},
+    {kDmaBankImmDst, RegAccess::kRW, RegBank::kDmaChannel, "kDmaBankImmDst"},
+    {kDmaBankImmLen, RegAccess::kRW, RegBank::kDmaChannel, "kDmaBankImmLen"},
+    {kDmaBankImmKick, RegAccess::kWO, RegBank::kDmaChannel,
+     "kDmaBankImmKick"},
+    {kDmaBankWriteback, RegAccess::kRW, RegBank::kDmaChannel,
+     "kDmaBankWriteback"},
+    {kDmaBankErrInfo, RegAccess::kRO, RegBank::kDmaChannel,
+     "kDmaBankErrInfo"},
+    {kRouteMask, RegAccess::kRW, RegBank::kRouteEntry, "kRouteMask"},
+    {kRouteLower, RegAccess::kRW, RegBank::kRouteEntry, "kRouteLower"},
+    {kRouteUpper, RegAccess::kRW, RegBank::kRouteEntry, "kRouteUpper"},
+    {kRoutePort, RegAccess::kRW, RegBank::kRouteEntry, "kRoutePort"},
+};
+
+// Decoded bank regions: DMA banks then route entries, both inside BAR0.
+inline constexpr std::uint64_t kDmaRegionEnd =
+    kDmaBankBase + kDmaChannelBanks * kDmaBankStride;
+inline constexpr std::uint64_t kRouteRegionEnd =
+    kRouteBase + kRouteEntries * kRouteStride;
+
+namespace detail {
+
+constexpr std::uint64_t reg_limit(RegBank bank) {
+  switch (bank) {
+    case RegBank::kGlobal: return kWindowBytes;
+    case RegBank::kDmaChannel: return kDmaBankStride;
+    case RegBank::kRouteEntry: return kRouteStride;
+  }
+  return 0;
+}
+
+/// All MMIO is 64-bit: every offset and span is a multiple of 8 bytes.
+constexpr bool reg_map_aligned() {
+  for (const RegSpec& r : kRegMap) {
+    if (r.span == 0 || r.span % 8 != 0 || r.offset % 8 != 0) return false;
+  }
+  return true;
+}
+
+/// Globals fit the BAR0 window; bank fields fit their bank stride.
+constexpr bool reg_map_in_bounds() {
+  for (const RegSpec& r : kRegMap) {
+    if (r.offset + r.span > reg_limit(r.bank)) return false;
+  }
+  return true;
+}
+
+/// No two registers of the same bank kind overlap.
+constexpr bool reg_map_disjoint() {
+  for (const RegSpec& a : kRegMap) {
+    for (const RegSpec& b : kRegMap) {
+      if (&a == &b || a.bank != b.bank) continue;
+      if (a.offset < b.offset + b.span && b.offset < a.offset + a.span) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Absolute registers must not fall inside a decoded bank region — the
+/// chip's address decoder would shadow them.
+constexpr bool reg_map_outside_bank_regions() {
+  for (const RegSpec& r : kRegMap) {
+    if (r.bank != RegBank::kGlobal) continue;
+    const std::uint64_t end = r.offset + r.span;
+    if (r.offset < kDmaRegionEnd && end > kDmaBankBase) return false;
+    if (r.offset < kRouteRegionEnd && end > kRouteBase) return false;
+  }
+  return true;
+}
+
+}  // namespace detail
+
+static_assert(detail::reg_map_aligned(),
+              "register offsets/spans must be 8-byte aligned");
+static_assert(detail::reg_map_in_bounds(),
+              "registers must fit their window/bank stride");
+static_assert(detail::reg_map_disjoint(),
+              "register offsets must not overlap within a bank kind");
+static_assert(detail::reg_map_outside_bank_regions(),
+              "absolute registers must not shadow DMA/route bank regions");
+static_assert(kDmaRegionEnd <= kRouteBase,
+              "DMA channel banks must end at or before the route table");
+static_assert(kRouteRegionEnd <= kLinkStatusBase,
+              "route table must end at or before the NIOS region");
+static_assert(kWindowBytes % 4096 == 0 && kRouteRegionEnd <= kWindowBytes,
+              "decoded regions must fit the BAR0 window");
 
 }  // namespace tca::peach2::regs

@@ -1,0 +1,19 @@
+// Seeded violations: coro-ref-param — coroutine parameters that can bind a
+// temporary. A `const T&` or `T&&` parameter of a coroutine refers to the
+// caller's argument, which dies at the end of the caller's full-expression;
+// the frame then holds a dangling reference across suspension.
+#include "sim/task.h"
+
+namespace fixture {
+
+struct Buffer {
+  unsigned id = 0;
+};
+
+// const lvalue reference: binds temporaries.
+sim::Task<> write_flag(const Buffer& flag, unsigned value);
+
+// rvalue reference: always a temporary or an expiring object.
+sim::Task<int> consume(Buffer&& scratch);
+
+}  // namespace fixture

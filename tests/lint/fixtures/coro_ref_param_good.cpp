@@ -1,0 +1,27 @@
+// Clean twin of coro_ref_param_bad.cpp: coroutine parameters by value (the
+// frame owns a copy/move) or by non-const lvalue reference (cannot bind a
+// temporary). Ordinary functions may of course take const references.
+#include "sim/task.h"
+
+namespace fixture {
+
+struct Buffer {
+  unsigned id = 0;
+};
+
+sim::Task<> write_flag(Buffer flag, unsigned value);
+
+sim::Task<int> consume(Buffer scratch);
+
+// Non-const lvalue references are allowed: they cannot bind temporaries.
+sim::Task<> drive(Buffer& engine);
+
+// Not a coroutine — const& is idiomatic here.
+unsigned checksum(const Buffer& b);
+
+// A container of tasks is not a coroutine declaration.
+struct Pool {
+  int count(const Buffer& b) const;
+};
+
+}  // namespace fixture

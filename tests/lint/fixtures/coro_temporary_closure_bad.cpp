@@ -1,0 +1,18 @@
+// Seeded violation: coro-temporary-closure — the PR 3 ASan bug class.
+// The capturing lambda is invoked as a temporary; its closure (holding
+// `rounds` and `node`) is destroyed at the end of the full-expression while
+// the eagerly-started coroutine frame lives on, so every capture dangles
+// from the first suspension point onward.
+#include "sim/task.h"
+
+namespace fixture {
+
+void start_pinger(Node& node, int rounds) {
+  sim::spawn([&node, rounds]() -> sim::Task<> {
+    for (int i = 0; i < rounds; ++i) {
+      co_await node.ping();
+    }
+  }());
+}
+
+}  // namespace fixture

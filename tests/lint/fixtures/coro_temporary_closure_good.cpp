@@ -1,0 +1,24 @@
+// Clean twin of coro_temporary_closure_bad.cpp: the repo idiom — a
+// capture-less lambda coroutine with state passed as parameters. By-value
+// parameters are moved into the frame; the non-const lvalue reference binds
+// an object the caller guarantees outlives the coroutine.
+#include "sim/task.h"
+
+namespace fixture {
+
+void start_pinger(Node& node, int rounds) {
+  sim::spawn([](Node& n, int r) -> sim::Task<> {
+    for (int i = 0; i < r; ++i) {
+      co_await n.ping();
+    }
+  }(node, rounds));
+}
+
+// A capturing lambda coroutine is fine when the closure is *named* and kept
+// alive by the caller for the coroutine's lifetime.
+void start_named(Node& node) {
+  auto body = [&node]() -> sim::Task<> { co_await node.ping(); };
+  node.keep_alive(body);
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Seeded violations: det-raw-rand — randomness outside the seeded
+// tca::Rng. Standard engines differ across library implementations and
+// random_device is nondeterministic by design.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int noise() {
+  std::mt19937 gen(42);
+  return static_cast<int>(gen()) + rand();
+}
+
+}  // namespace fixture

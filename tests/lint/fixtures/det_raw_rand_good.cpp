@@ -1,0 +1,11 @@
+// Clean twin of det_raw_rand_bad.cpp: randomness drawn from the seeded,
+// cross-platform tca::Rng wrapper (common/rng).
+#include "common/rng.h"
+
+namespace fixture {
+
+int noise(tca::Rng& rng) {
+  return static_cast<int>(rng.next_u64() & 0x7fffffff);
+}
+
+}  // namespace fixture

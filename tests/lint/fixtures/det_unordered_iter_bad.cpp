@@ -1,0 +1,20 @@
+// Seeded violation: det-unordered-iter — range-for over an unordered
+// container. Iteration order is implementation-defined, so anything the
+// loop feeds (traces, metrics, free lists) diverges across platforms.
+#include <unordered_map>
+
+namespace fixture {
+
+struct Tracker {
+  std::unordered_map<int, long> bytes_by_tag_;
+
+  long total() const {
+    long sum = 0;
+    for (const auto& [tag, bytes] : bytes_by_tag_) {
+      sum += bytes;
+    }
+    return sum;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Clean twin of det_unordered_iter_bad.cpp: unordered containers are fine
+// for keyed lookup; only *iterating* them is order-sensitive. Ordered maps
+// may be iterated freely.
+#include <map>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Tracker {
+  std::unordered_map<int, long> lookup_;   // find()/erase() only — fine
+  std::map<int, long> bytes_by_tag_;       // ordered: iteration is stable
+
+  long get(int tag) const {
+    const auto it = lookup_.find(tag);
+    return it == lookup_.end() ? 0 : it->second;
+  }
+
+  long total() const {
+    long sum = 0;
+    for (const auto& [tag, bytes] : bytes_by_tag_) {
+      sum += bytes;
+    }
+    return sum;
+  }
+};
+
+}  // namespace fixture

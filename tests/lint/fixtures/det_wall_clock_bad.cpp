@@ -1,0 +1,13 @@
+// Seeded violation: det-wall-clock — simulation logic reading the host
+// clock. Replay must be bit-identical across machines and runs, so all
+// timing flows through Scheduler::now() (simulated picoseconds).
+#include <chrono>
+
+namespace fixture {
+
+long stamp() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return t0.time_since_epoch().count();
+}
+
+}  // namespace fixture

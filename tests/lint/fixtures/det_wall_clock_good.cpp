@@ -1,0 +1,14 @@
+// Clean twin of det_wall_clock_bad.cpp: timing comes from the scheduler's
+// simulated clock. Mentions of steady_clock in comments or strings (like
+// this one, or "steady_clock" below) must not trigger the rule.
+#include "sim/scheduler.h"
+
+namespace fixture {
+
+long stamp(sim::Scheduler& sched) {
+  const char* label = "steady_clock is banned";
+  (void)label;
+  return static_cast<long>(sched.now());
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Seeded violations: reg-magic-mmio — MMIO accesses via magic integer
+// offsets. Offsets must be named peach2::regs:: constants so the register
+// map stays the single source of truth.
+#include "peach2/registers.h"
+
+namespace fixture {
+
+void poke(Chip& chip) {
+  chip.write_register(0x210, 1);
+  const auto status = chip.read_register(0x218);
+  (void)status;
+  const auto doorbell = tca::peach2::regs::dma_bank(1, 0x10);
+  (void)doorbell;
+}
+
+}  // namespace fixture

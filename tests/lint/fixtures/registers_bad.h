@@ -1,0 +1,49 @@
+// Seeded violations for every register-map rule: misaligned offset,
+// duplicate/overlapping offsets, out-of-window register, bank-relative
+// field overflowing its stride, absolute register shadowed by a decoded
+// bank region, an alias that points nowhere, and constants/table drift.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture::regs {
+
+inline constexpr std::uint64_t kWindowBytes = 64 << 10;
+inline constexpr std::uint64_t kDmaBankBase = 0x200;
+inline constexpr std::uint64_t kDmaBankStride = 0x80;
+inline constexpr std::uint64_t kDmaChannelBanks = 4;
+inline constexpr std::uint64_t kRouteBase = 0x400;
+inline constexpr std::uint64_t kRouteStride = 0x20;
+inline constexpr std::uint64_t kRouteEntries = 64;
+
+inline constexpr std::uint64_t kChipId = 0x004;        // RO  (misaligned)
+inline constexpr std::uint64_t kNodeId = 0x010;        // RW
+inline constexpr std::uint64_t kNodeIdShadow = 0x010;  // RW  (duplicate offset)
+inline constexpr std::uint64_t kOrphan = 0x030;        // RW  (missing from kRegMap)
+inline constexpr std::uint64_t kBeyond = 0x10000;      // RO  (outside the window)
+inline constexpr std::uint64_t kInsideDma = 0x280;     // RW  (inside the DMA region)
+inline constexpr std::uint64_t kDmaBankHuge = 0x80;    // RW bank:dma (exceeds stride)
+inline constexpr std::uint64_t kBadAlias = 0x218;      // alias (no such DMA field)
+
+enum class RegAccess : unsigned char { kRO, kRW, kWO };
+enum class RegBank : unsigned char { kGlobal, kDmaChannel, kRouteEntry };
+
+struct RegSpec {
+  std::uint64_t offset;
+  RegAccess access;
+  RegBank bank;
+  const char* name;
+  std::uint64_t span = 8;
+};
+
+inline constexpr RegSpec kRegMap[] = {
+    {kChipId, RegAccess::kRO, RegBank::kGlobal, "kChipId"},
+    {kNodeIdShadow, RegAccess::kRW, RegBank::kGlobal, "kNodeIdShadow"},
+    {kBeyond, RegAccess::kRO, RegBank::kGlobal, "kBeyond"},
+    {kInsideDma, RegAccess::kRW, RegBank::kGlobal, "kInsideDma"},
+    {kDmaBankHuge, RegAccess::kRW, RegBank::kDmaChannel, "kDmaBankHuge"},
+    // No constant is annotated at this offset — drift in the other direction.
+    {0x020, RegAccess::kRO, RegBank::kGlobal, "kGhost"},
+};
+
+}  // namespace fixture::regs

@@ -1,0 +1,47 @@
+// Clean twin of registers_bad.h: a miniature but fully consistent register
+// map — aligned offsets, disjoint ranges, in-window globals, in-stride bank
+// fields, a correct channel-0 alias, and a kRegMap table that matches the
+// annotated constants exactly.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture::regs {
+
+inline constexpr std::uint64_t kWindowBytes = 64 << 10;
+inline constexpr std::uint64_t kDmaBankBase = 0x200;
+inline constexpr std::uint64_t kDmaBankStride = 0x80;
+inline constexpr std::uint64_t kDmaChannelBanks = 4;
+inline constexpr std::uint64_t kRouteBase = 0x400;
+inline constexpr std::uint64_t kRouteStride = 0x20;
+inline constexpr std::uint64_t kRouteEntries = 64;
+
+inline constexpr std::uint64_t kChipId = 0x000;           // RO
+inline constexpr std::uint64_t kNodeId = 0x008;           // RW
+inline constexpr std::uint64_t kDmaBankDoorbell = 0x10;   // WO bank:dma
+inline constexpr std::uint64_t kDmaDoorbell =  // alias
+    kDmaBankBase + kDmaBankDoorbell;
+inline constexpr std::uint64_t kRoutePort = 0x18;         // RW bank:route
+inline constexpr std::uint64_t kLinkStatusBase = 0xc00;   // RO span:32
+
+enum class RegAccess : unsigned char { kRO, kRW, kWO };
+enum class RegBank : unsigned char { kGlobal, kDmaChannel, kRouteEntry };
+
+struct RegSpec {
+  std::uint64_t offset;
+  RegAccess access;
+  RegBank bank;
+  const char* name;
+  std::uint64_t span = 8;
+};
+
+inline constexpr RegSpec kRegMap[] = {
+    {kChipId, RegAccess::kRO, RegBank::kGlobal, "kChipId"},
+    {kNodeId, RegAccess::kRW, RegBank::kGlobal, "kNodeId"},
+    {kLinkStatusBase, RegAccess::kRO, RegBank::kGlobal, "kLinkStatusBase", 32},
+    {kDmaBankDoorbell, RegAccess::kWO, RegBank::kDmaChannel,
+     "kDmaBankDoorbell"},
+    {kRoutePort, RegAccess::kRW, RegBank::kRouteEntry, "kRoutePort"},
+};
+
+}  // namespace fixture::regs

@@ -1,0 +1,14 @@
+// Seeded violation: lint-bad-suppression — an allow without the mandatory
+// justification. The malformed directive is itself a finding, and the
+// underlying det-wall-clock finding is NOT suppressed.
+#include <chrono>
+
+namespace fixture {
+
+long stamp() {
+  // tca-lint: allow(det-wall-clock)
+  const auto t0 = std::chrono::steady_clock::now();
+  return t0.time_since_epoch().count();
+}
+
+}  // namespace fixture

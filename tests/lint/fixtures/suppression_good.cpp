@@ -1,0 +1,13 @@
+// A justified, well-formed suppression: the finding on the next line is
+// waived and the file lints clean.
+#include <chrono>
+
+namespace fixture {
+
+long stamp() {
+  // tca-lint: allow(det-wall-clock): fixture demonstrates a justified waiver
+  const auto t0 = std::chrono::steady_clock::now();
+  return t0.time_since_epoch().count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,166 @@
+// Self-tests for tools/tca_lint: every seeded fixture must flag its rule,
+// every clean twin must pass, and the repository itself must lint clean
+// (the check.sh gate depends on it). Fixture sources live in
+// tests/lint/fixtures/ and are excluded from the repo-wide scan.
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tca_lint/lint.h"
+
+namespace {
+
+using tca::lint::Finding;
+using tca::lint::Options;
+using tca::lint::run_lint;
+
+std::string fixture(const std::string& name) {
+  return std::string(TCA_LINT_FIXTURES) + "/" + name;
+}
+
+std::vector<Finding> lint_file(const std::string& name) {
+  Options o;
+  o.files.push_back(fixture(name));
+  return run_lint(o);
+}
+
+std::vector<Finding> lint_registers(const std::string& name) {
+  Options o;
+  o.registers_path = fixture(name);
+  return run_lint(o);
+}
+
+std::size_t count_rule(const std::vector<Finding>& fs,
+                       const std::string& rule) {
+  return static_cast<std::size_t>(
+      std::count_if(fs.begin(), fs.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+testing::AssertionResult only_rules(const std::vector<Finding>& fs,
+                                    const std::set<std::string>& expected) {
+  for (const Finding& f : fs) {
+    if (expected.find(f.rule) == expected.end()) {
+      return testing::AssertionFailure()
+             << "unexpected finding " << f.file << ":" << f.line << " ["
+             << f.rule << "] " << f.message;
+    }
+  }
+  return testing::AssertionSuccess();
+}
+
+TEST(LintCoroutine, TemporaryClosureFlagged) {
+  const auto fs = lint_file("coro_temporary_closure_bad.cpp");
+  EXPECT_EQ(count_rule(fs, "coro-temporary-closure"), 1u);
+  EXPECT_TRUE(only_rules(fs, {"coro-temporary-closure"}));
+}
+
+TEST(LintCoroutine, SafeIdiomsPass) {
+  EXPECT_TRUE(lint_file("coro_temporary_closure_good.cpp").empty());
+}
+
+TEST(LintCoroutine, RefParamsFlagged) {
+  const auto fs = lint_file("coro_ref_param_bad.cpp");
+  EXPECT_EQ(count_rule(fs, "coro-ref-param"), 2u);  // const T& and T&&
+  EXPECT_TRUE(only_rules(fs, {"coro-ref-param"}));
+}
+
+TEST(LintCoroutine, ByValueParamsPass) {
+  EXPECT_TRUE(lint_file("coro_ref_param_good.cpp").empty());
+}
+
+TEST(LintDeterminism, WallClockFlagged) {
+  const auto fs = lint_file("det_wall_clock_bad.cpp");
+  EXPECT_EQ(count_rule(fs, "det-wall-clock"), 1u);
+  EXPECT_TRUE(only_rules(fs, {"det-wall-clock"}));
+}
+
+TEST(LintDeterminism, SimulatedTimePasses) {
+  EXPECT_TRUE(lint_file("det_wall_clock_good.cpp").empty());
+}
+
+TEST(LintDeterminism, RawRandFlagged) {
+  const auto fs = lint_file("det_raw_rand_bad.cpp");
+  EXPECT_EQ(count_rule(fs, "det-raw-rand"), 2u);  // mt19937 and rand
+  EXPECT_TRUE(only_rules(fs, {"det-raw-rand"}));
+}
+
+TEST(LintDeterminism, SeededRngPasses) {
+  EXPECT_TRUE(lint_file("det_raw_rand_good.cpp").empty());
+}
+
+TEST(LintDeterminism, UnorderedIterationFlagged) {
+  const auto fs = lint_file("det_unordered_iter_bad.cpp");
+  EXPECT_EQ(count_rule(fs, "det-unordered-iter"), 1u);
+  EXPECT_TRUE(only_rules(fs, {"det-unordered-iter"}));
+}
+
+TEST(LintDeterminism, KeyedLookupAndOrderedIterationPass) {
+  EXPECT_TRUE(lint_file("det_unordered_iter_good.cpp").empty());
+}
+
+TEST(LintRegisters, MagicMmioFlagged) {
+  const auto fs = lint_file("reg_magic_mmio_bad.cpp");
+  EXPECT_EQ(count_rule(fs, "reg-magic-mmio"), 3u);
+  EXPECT_TRUE(only_rules(fs, {"reg-magic-mmio"}));
+}
+
+TEST(LintRegisters, NamedOffsetsPass) {
+  EXPECT_TRUE(lint_file("reg_magic_mmio_good.cpp").empty());
+}
+
+TEST(LintRegisters, BadMapFlagsEveryRule) {
+  const auto fs = lint_registers("registers_bad.h");
+  EXPECT_EQ(count_rule(fs, "reg-misaligned"), 1u);
+  EXPECT_EQ(count_rule(fs, "reg-dup-offset"), 1u);
+  EXPECT_EQ(count_rule(fs, "reg-out-of-window"), 1u);
+  EXPECT_EQ(count_rule(fs, "reg-bank-overlap"), 1u);
+  EXPECT_EQ(count_rule(fs, "reg-field-overflow"), 1u);
+  EXPECT_EQ(count_rule(fs, "reg-bad-alias"), 1u);
+  EXPECT_EQ(count_rule(fs, "reg-table-mismatch"), 2u);  // both directions
+  EXPECT_TRUE(only_rules(
+      fs, {"reg-misaligned", "reg-dup-offset", "reg-out-of-window",
+           "reg-bank-overlap", "reg-field-overflow", "reg-bad-alias",
+           "reg-table-mismatch"}));
+}
+
+TEST(LintRegisters, GoodMapPasses) {
+  EXPECT_TRUE(lint_registers("registers_good.h").empty());
+}
+
+TEST(LintSuppression, JustifiedAllowSuppresses) {
+  EXPECT_TRUE(lint_file("suppression_good.cpp").empty());
+}
+
+TEST(LintSuppression, BareAllowIsAFindingAndDoesNotSuppress) {
+  const auto fs = lint_file("suppression_bad.cpp");
+  EXPECT_EQ(count_rule(fs, "lint-bad-suppression"), 1u);
+  EXPECT_EQ(count_rule(fs, "det-wall-clock"), 1u);
+  EXPECT_TRUE(only_rules(fs, {"lint-bad-suppression", "det-wall-clock"}));
+}
+
+TEST(LintCatalogue, RuleIdsAreUnique) {
+  const auto ids = tca::lint::rule_ids();
+  const std::set<std::string> unique(ids.begin(), ids.end());
+  EXPECT_EQ(ids.size(), unique.size());
+  EXPECT_EQ(ids.size(), 15u);
+}
+
+// The actual gate: the repository (src/, tests/, tools/, examples/, bench/
+// plus the real registers.h) must lint clean. Reintroducing the PR 3
+// temporary-closure bug anywhere fails this test.
+TEST(LintRepo, RepositoryLintsClean) {
+  Options o;
+  o.root = TCA_LINT_REPO_ROOT;
+  const auto fs = run_lint(o);
+  for (const Finding& f : fs) {
+    ADD_FAILURE() << f.file << ":" << f.line << " [" << f.rule << "] "
+                  << f.message;
+  }
+  EXPECT_TRUE(fs.empty());
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+// tca_lint — project-invariant static analysis for the TCA simulator.
+//
+// Three rule families over a light token stream (see lexer.h):
+//
+//  coroutine lifetime
+//    coro-temporary-closure  capturing lambda coroutine invoked as a
+//                            temporary: the closure dies at the end of the
+//                            full-expression while the coroutine frame
+//                            lives on (the PR 3 ASan bug class).
+//    coro-ref-param          coroutine (or Task-returning function) taking
+//                            a const-lvalue- or rvalue-reference parameter:
+//                            both bind temporaries that die at the first
+//                            suspension point. Take parameters by value.
+//
+//  determinism
+//    det-wall-clock          wall-clock reads (system_clock, steady_clock,
+//                            ...) outside bench/ — replay must depend only
+//                            on simulated time.
+//    det-raw-rand            rand()/random_device/std engines outside
+//                            common/rng — all randomness flows through the
+//                            seeded, cross-platform Rng.
+//    det-unordered-iter      range-for over a container declared as
+//                            std::unordered_{map,set,...}: iteration order
+//                            is implementation-defined, so anything it
+//                            feeds (trace, metrics, free lists) diverges
+//                            across platforms.
+//
+//  register map (src/peach2/registers.h + MMIO call sites)
+//    reg-magic-mmio          write_register/read_register/dma_bank called
+//                            with a literal integer offset instead of a
+//                            regs:: constant.
+//    reg-misaligned          register offset not 8-byte aligned (all MMIO
+//                            is 64-bit).
+//    reg-dup-offset          two registers in the same bank namespace
+//                            overlap.
+//    reg-out-of-window       absolute offset outside [0, kWindowBytes).
+//    reg-field-overflow      bank-relative field outside its bank stride.
+//    reg-bank-overlap        absolute register falling inside the DMA
+//                            channel-bank or route-table region.
+//    reg-bad-alias           channel-0 alias that is not kDmaBankBase +
+//                            <field>.
+//    reg-table-mismatch      annotated register constant missing from
+//                            kRegMap, or vice versa.
+//    reg-map-parse           registers.h no longer parses (missing base
+//                            constants, unevaluable annotated offset).
+//
+// Suppression: `// tca-lint: allow(rule-id): <justification>` on the same
+// line as the finding or the line directly above. The justification is
+// mandatory; a malformed or bare allow is itself a finding
+// (lint-bad-suppression).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tca_lint/lexer.h"
+
+namespace tca::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Options {
+  /// Project root: scans src/, tests/, tools/, examples/, bench/ (*.h,
+  /// *.cpp), excluding lint fixtures, and analyzes src/peach2/registers.h.
+  /// Path-scoped rule exemptions apply (bench/ may read the wall clock;
+  /// common/rng may touch raw generators).
+  std::string root;
+  /// Explicit files to lint with *all* rules active (fixtures/tests).
+  std::vector<std::string> files;
+  /// Explicit register-map header to analyze (fixtures/tests).
+  std::string registers_path;
+};
+
+/// Runs the configured lint; findings are sorted by (file, line, rule).
+/// Suppressions have been applied.
+std::vector<Finding> run_lint(const Options& opts);
+
+/// All rule ids (for --list-rules and the self-tests).
+std::vector<std::string> rule_ids();
+
+namespace rules {
+
+/// Symbol context shared across files within one run.
+struct Context {
+  /// Names declared anywhere in the run as unordered containers.
+  std::vector<std::string> unordered_names;
+};
+
+/// Which path-scoped exemptions/scopes apply to a file.
+struct FileScope {
+  bool allow_wall_clock = false;   // bench/ measures real time
+  bool allow_raw_rand = false;     // common/rng wraps the generator
+  bool check_magic_mmio = true;    // driver/, peach2/, tests/ + fixtures
+};
+
+void collect_unordered_names(const LexedFile& f, Context& ctx);
+
+void check_coroutines(const std::string& path, const LexedFile& f,
+                      std::vector<Finding>& out);
+void check_determinism(const std::string& path, const LexedFile& f,
+                       const Context& ctx, const FileScope& scope,
+                       std::vector<Finding>& out);
+void check_magic_mmio(const std::string& path, const LexedFile& f,
+                      std::vector<Finding>& out);
+void check_register_map(const std::string& path, const LexedFile& f,
+                        std::vector<Finding>& out);
+
+}  // namespace rules
+
+}  // namespace tca::lint

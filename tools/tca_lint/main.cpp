@@ -1,0 +1,68 @@
+// tca_lint CLI.
+//
+//   tca_lint --root .                     lint the whole project
+//   tca_lint file.cpp [file2.cpp ...]     lint explicit files (all rules)
+//   tca_lint --registers path/to/regs.h   analyze a register map header
+//   tca_lint --list-rules                 print the rule catalogue
+//
+// Exit codes: 0 clean, 1 findings, 2 usage error.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tca_lint/lint.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: tca_lint [--root DIR] [--registers FILE] [--quiet] "
+               "[--list-rules] [files...]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tca::lint::Options opts;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (++i >= argc) return usage();
+      opts.root = argv[i];
+    } else if (arg == "--registers") {
+      if (++i >= argc) return usage();
+      opts.registers_path = argv[i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--list-rules") {
+      for (const std::string& r : tca::lint::rule_ids()) {
+        std::printf("%s\n", r.c_str());
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      opts.files.push_back(arg);
+    }
+  }
+  if (opts.root.empty() && opts.files.empty() &&
+      opts.registers_path.empty()) {
+    return usage();
+  }
+
+  const std::vector<tca::lint::Finding> findings = tca::lint::run_lint(opts);
+  if (!quiet) {
+    for (const auto& f : findings) {
+      std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                  f.rule.c_str(), f.message.c_str());
+    }
+    std::fprintf(stderr, "tca_lint: %zu finding(s)\n", findings.size());
+  }
+  return findings.empty() ? 0 : 1;
+}
