@@ -4,8 +4,9 @@
 // astrophysics stencils): each node owns a slab of the grid in GPU memory;
 // every iteration the boundary rows are exchanged with the ring neighbors.
 // The same computation runs twice —
-//   (a) halos moved GPU-to-GPU through the TCA fabric (memcpy_peer + PIO
-//       flag synchronization), and
+//   (a) halos moved through tca::coll::Communicator::neighbor_exchange
+//       (both rows in one descriptor chain, doorbell-flag completion and
+//       per-direction credit flow control — no global barrier needed), and
 //   (b) halos moved through the conventional stack (cudaMemcpy D2H ->
 //       MPI/IB -> cudaMemcpy H2D),
 // then the final grids are compared element-for-element and the
@@ -14,6 +15,7 @@
 // Run: ./halo_exchange
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -21,6 +23,7 @@
 #include "baseline/conventional.h"
 #include "baseline/ib_fabric.h"
 #include "baseline/mpi_lite.h"
+#include "coll/communicator.h"
 
 using namespace tca;
 
@@ -73,68 +76,59 @@ struct RunResult {
 
 // --- (a) TCA version --------------------------------------------------------
 
-sim::Task<> tca_node_task(api::Runtime& rt, std::uint32_t node,
+sim::Task<> tca_node_task(api::Runtime& rt, coll::Communicator& comm,
+                          std::uint32_t node,
                           std::vector<api::Buffer>& gpu_bufs,
-                          std::vector<api::Buffer>& flag_bufs,
                           std::vector<std::vector<double>>& slabs,
-                          sim::Barrier& barrier, TimePs& comm_accum) {
-  const std::uint32_t north = (node + kNodes - 1) % kNodes;
-  const std::uint32_t south = (node + 1) % kNodes;
+                          TimePs& comm_accum) {
   auto& slab = slabs[node];
+  // Ring orientation: next = south neighbor, prev = north neighbor. My last
+  // interior row feeds south's north halo; my first interior row feeds
+  // north's south halo. The communicator's per-direction credits replace
+  // the global barrier the hand-rolled version needed.
+  const coll::HaloSpec spec{
+      .buf = gpu_bufs[node],
+      .send_to_next_off = static_cast<std::uint64_t>(kRowsPerNode) * kRowBytes,
+      .send_to_prev_off = 1 * kRowBytes,
+      .recv_from_prev_off = 0,
+      .recv_from_next_off =
+          static_cast<std::uint64_t>(kRowsPerNode + 1) * kRowBytes,
+      .bytes = kRowBytes,
+  };
 
   for (int iter = 0; iter < kIterations; ++iter) {
     // Compute phase: modeled kernel time, real math.
     co_await sim::Delay(rt.scheduler(), kComputePs);
     jacobi_sweep(slab);
     rt.write(gpu_bufs[node], 0, std::as_bytes(std::span(slab)));
-    co_await barrier.arrive();
 
     const TimePs comm_start = rt.scheduler().now();
-    // Put my first interior row into north's south halo and my last
-    // interior row into south's north halo — GPU to GPU, no host staging,
-    // both rows in ONE descriptor chain (one doorbell + one interrupt).
-    std::vector<api::Runtime::CopyOp> ops{
-        {.dst = gpu_bufs[north],
-         .dst_off = (kRowsPerNode + 1) * kRowBytes,
-         .src = gpu_bufs[node],
-         .src_off = 1 * kRowBytes,
-         .bytes = kRowBytes},
-        {.dst = gpu_bufs[south],
-         .dst_off = 0,
-         .src = gpu_bufs[node],
-         .src_off = static_cast<std::uint64_t>(kRowsPerNode) * kRowBytes,
-         .bytes = kRowBytes}};
-    co_await rt.memcpy_peer_batch(node, std::move(ops));
-    // Flag the neighbors, then wait for both of mine.
-    const auto seq = static_cast<std::uint32_t>(iter + 1);
-    co_await rt.notify(node, flag_bufs[north], 8, seq);  // from south
-    co_await rt.notify(node, flag_bufs[south], 0, seq);  // from north
-    co_await rt.wait_flag(flag_bufs[node], 0, seq);
-    co_await rt.wait_flag(flag_bufs[node], 8, seq);
+    const Status st = co_await comm.neighbor_exchange(node, spec);
+    TCA_ASSERT(st.is_ok());
     comm_accum += rt.scheduler().now() - comm_start;
 
     // Pull the received halos back into the working slab.
     std::vector<std::byte> halo(kRowBytes);
     rt.read(gpu_bufs[node], 0, halo);
     std::memcpy(slab.data(), halo.data(), kRowBytes);
-    rt.read(gpu_bufs[node], (kRowsPerNode + 1) * kRowBytes, halo);
+    rt.read(gpu_bufs[node],
+            static_cast<std::uint64_t>(kRowsPerNode + 1) * kRowBytes, halo);
     std::memcpy(slab.data() + static_cast<std::size_t>(
                                   (kRowsPerNode + 1) * kCols),
                 halo.data(), kRowBytes);
-    co_await barrier.arrive();
   }
 }
 
 RunResult run_tca() {
   sim::Scheduler sched;
   api::Runtime rt(sched, api::TcaConfig{.node_count = kNodes});
-  sim::Barrier barrier(sched, kNodes);
+  auto comm = coll::Communicator::create(rt);
+  TCA_ASSERT(comm.is_ok());
 
-  std::vector<api::Buffer> gpu_bufs, flag_bufs;
+  std::vector<api::Buffer> gpu_bufs;
   RunResult result;
   for (std::uint32_t n = 0; n < kNodes; ++n) {
     gpu_bufs.push_back(rt.alloc_gpu(n, 0, kSlabBytes).value());
-    flag_bufs.push_back(rt.alloc_host(n, 64).value());
     result.slabs.push_back(make_initial_slab(n));
     rt.write(gpu_bufs[n], 0, std::as_bytes(std::span(result.slabs[n])));
   }
@@ -142,8 +136,8 @@ RunResult run_tca() {
   TimePs comm_total = 0;
   const TimePs t0 = sched.now();
   for (std::uint32_t n = 0; n < kNodes; ++n) {
-    sim::spawn(tca_node_task(rt, n, gpu_bufs, flag_bufs, result.slabs,
-                             barrier, comm_total));
+    sim::spawn(tca_node_task(rt, comm.value(), n, gpu_bufs, result.slabs,
+                             comm_total));
   }
   sched.run();
   result.total_time = sched.now() - t0;

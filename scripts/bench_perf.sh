@@ -10,17 +10,22 @@
 #      bench_ring_scaling) with TCA_SCHED_BASELINE toggling the backend, and
 #      a byte-for-byte diff of their reports: simulated results must not
 #      drift by a single picosecond between backends.
+#   3. The collective-library sweeps (bench_coll_allreduce,
+#      bench_coll_halo) against the conventional MPI/IB stack.
 #
-# Everything lands in BENCH_sim_core.json at the repository root.
+# Everything lands in BENCH_sim_core.json and BENCH_coll.json at the
+# repository root.
 set -u
 cd "$(dirname "$0")/.."
 
 BUILD=build-perf
 JSON=BENCH_sim_core.json
+COLL_JSON=BENCH_coll.json
 
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null || exit 1
 cmake --build "$BUILD" -j --target \
-  bench_sim_core bench_fig9_dma_chain bench_ring_scaling > /dev/null || exit 1
+  bench_sim_core bench_fig9_dma_chain bench_ring_scaling \
+  bench_coll_allreduce bench_coll_halo > /dev/null || exit 1
 
 echo "== bench_sim_core (events/sec, indexed vs. baseline backend) =="
 "$BUILD"/bench/bench_sim_core --json "$JSON.tmp" || exit 1
@@ -75,4 +80,22 @@ done
 rm -f "$JSON.tmp"
 echo
 echo "wrote $JSON"
+
+echo
+echo "== collective library vs the conventional stack =="
+"$BUILD"/bench/bench_coll_allreduce --json /tmp/bench_coll_allreduce.json \
+  || status=1
+"$BUILD"/bench/bench_coll_halo --json /tmp/bench_coll_halo.json || status=1
+{
+  echo "{"
+  echo "\"allreduce\":"
+  cat /tmp/bench_coll_allreduce.json
+  echo ","
+  echo "\"halo\":"
+  cat /tmp/bench_coll_halo.json
+  echo "}"
+} > "$COLL_JSON"
+rm -f /tmp/bench_coll_allreduce.json /tmp/bench_coll_halo.json
+echo
+echo "wrote $COLL_JSON"
 exit $status

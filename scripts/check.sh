@@ -3,9 +3,10 @@
 # whole tree (coroutine-lifetime / determinism / register-map invariants),
 # a clang-tidy baseline diff (skipped when clang-tidy is not installed),
 # full test suite (soak label excluded — run `ctest -L soak` for the long
-# fault campaigns), a sanitizer pass over the fault suites, and a ~1 s
-# bench_sim_core smoke run (scheduler speedup tripwire + allocation,
-# determinism and backend-equivalence checks).
+# fault campaigns), a sanitizer pass over the fault and collective suites,
+# a ~1 s bench_sim_core smoke run (scheduler speedup tripwire + allocation,
+# determinism and backend-equivalence checks), collective bench smoke runs,
+# and tca_explore smoke invocations (--stats and --workload).
 #
 # For a full instrumented pass, configure with -DTCA_SANITIZE=address (or
 # undefined) and re-run the whole suite.
@@ -30,12 +31,16 @@ echo "== fault suites under ASan/UBSan =="
 SAN_BUILD=build-check-asan
 cmake -B "$SAN_BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DTCA_SANITIZE=address,undefined > /dev/null
-cmake --build "$SAN_BUILD" -j --target fault_test fault_recovery_test
+cmake --build "$SAN_BUILD" -j --target fault_test fault_recovery_test coll_test
 ctest --test-dir "$SAN_BUILD" --output-on-failure -j "$(nproc)" -LE soak \
-  -R '^(Fault|Nios|DmacErrors|GpuFaults|FaultPlan|LinkDown|ErrorRegisters|Recovery|Determinism)\.'
+  -R '^(Fault|Nios|DmacErrors|GpuFaults|FaultPlan|LinkDown|ErrorRegisters|Recovery|Determinism|Coll)\.'
 
 echo "== bench_sim_core smoke =="
 "$BUILD"/bench/bench_sim_core --smoke
+
+echo "== collective bench smoke =="
+"$BUILD"/bench/bench_coll_allreduce --smoke
+"$BUILD"/bench/bench_coll_halo --smoke
 
 echo "== tca_explore --stats smoke =="
 METRICS_JSON=$(mktemp)
@@ -60,5 +65,9 @@ else
   grep -q '"fabric.payload_bytes"' "$METRICS_JSON"
   echo "metrics JSON OK (grep fallback)"
 fi
+
+echo "== tca_explore --workload smoke =="
+"$BUILD"/tools/tca_explore --workload allreduce --size 65536 --nodes 4
+"$BUILD"/tools/tca_explore --workload halo --size 2048 --nodes 4
 
 echo "check.sh: OK"

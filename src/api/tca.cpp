@@ -372,7 +372,7 @@ sim::Task<SyncReport> Stream::synchronize(SyncOptions options) {
   for (std::uint32_t n = 0; n < rt_.node_count(); ++n) {
     if (by_node[n].empty()) continue;
     sim::spawn([](Runtime& rt, std::uint32_t node,
-                  std::vector<IndexedOp> group, SyncOptions options,
+                  std::vector<IndexedOp> group, SyncOptions sync_opts,
                   std::vector<Status>& statuses,
                   std::vector<std::uint32_t>& retry_counts,
                   std::size_t& left, sim::Trigger& done) -> sim::Task<> {
@@ -397,7 +397,7 @@ sim::Task<SyncReport> Stream::synchronize(SyncOptions options) {
         }
         std::uint32_t retries = 0;
         status = co_await rt.batch_with_policy(node, std::move(batch),
-                                               options, &retries);
+                                               sync_opts, &retries);
         for (std::size_t j = i; j < i + count; ++j) {
           statuses[group[j].index] = status;
           retry_counts[group[j].index] = retries;
@@ -441,6 +441,69 @@ sim::Task<> Runtime::wait_flag(Buffer host_flag, std::uint64_t offset,
     if (now_value == expected) co_return;
     co_await sim::Delay(sched_, calib::kCpuPollIterationPs);
   }
+}
+
+sim::Task<Status> Runtime::wait_flag_ge(Buffer host_flag, std::uint64_t offset,
+                                        std::uint32_t expected,
+                                        TimePs timeout_ps) {
+  TCA_ASSERT(host_flag.is_host());
+  ++metrics_.wait_flag_ops;
+  const TimePs deadline = timeout_ps > 0 ? sched_.now() + timeout_ps : 0;
+  for (;;) {
+    std::uint32_t now_value = 0;
+    read(host_flag, offset,
+         std::as_writable_bytes(std::span(&now_value, 1)));
+    if (now_value >= expected) co_return Status::ok();
+    if (deadline > 0 && sched_.now() >= deadline) {
+      co_return Status{ErrorCode::kTimedOut, "flag wait deadline expired"};
+    }
+    co_await sim::Delay(sched_, calib::kCpuPollIterationPs);
+  }
+}
+
+sim::Task<Status> Runtime::memcpy_pio(Buffer dst, std::uint64_t dst_off,
+                                      Buffer src, std::uint64_t src_off,
+                                      std::uint64_t bytes) {
+  if (Status st = validate(dst, dst_off, bytes); !st.is_ok()) co_return st;
+  if (Status st = validate(src, src_off, bytes); !st.is_ok()) co_return st;
+  if (!src.is_host()) {
+    co_return Status{ErrorCode::kInvalidArgument,
+                     "PIO stores source host memory (the CPU issues them)"};
+  }
+  if (bytes == 0) co_return Status::ok();
+  ++metrics_.memcpy_ops;
+  metrics_.memcpy_bytes += bytes;
+  ++metrics_.pio_ops;
+  const TimePs t0 = sched_.now();
+  std::vector<std::byte> staged(bytes);
+  read(src, src_off, staged);
+  co_await cluster_->driver(src.node).pio_store(global_addr(dst, dst_off),
+                                                staged);
+  if (obs::sampling_enabled()) {
+    metrics_.memcpy_latency_ps.add_time(sched_.now() - t0);
+  }
+  co_return Status::ok();
+}
+
+sim::Task<Status> Runtime::memcpy_peer_reliable(
+    Buffer dst, std::uint64_t dst_off, Buffer src, std::uint64_t src_off,
+    std::uint64_t bytes, SyncOptions options, std::uint32_t* retries_out) {
+  std::uint32_t retries = 0;
+  Status st = Status::ok();
+  if (bytes > 0) {
+    ++metrics_.memcpy_ops;
+    metrics_.memcpy_bytes += bytes;
+    ++metrics_.dma_ops;
+    std::vector<CopyOp> ops{CopyOp{.dst = dst,
+                                   .dst_off = dst_off,
+                                   .src = src,
+                                   .src_off = src_off,
+                                   .bytes = bytes}};
+    st = co_await batch_with_policy(src.node, std::move(ops), options,
+                                    &retries);
+  }
+  if (retries_out != nullptr) *retries_out = retries;
+  co_return st;
 }
 
 }  // namespace tca::api

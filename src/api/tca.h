@@ -181,6 +181,33 @@ class Runtime {
   sim::Task<> wait_flag(Buffer host_flag, std::uint64_t offset,
                         std::uint32_t expected);
 
+  /// Polls a local host flag until it is >= `expected` — the right wait for
+  /// monotonic sequence counters, where a waiter may arrive after several
+  /// increments. `timeout_ps` bounds the wait (0 = poll forever); expiry
+  /// returns kTimedOut instead of hanging the simulation.
+  sim::Task<Status> wait_flag_ge(Buffer host_flag, std::uint64_t offset,
+                                 std::uint32_t expected,
+                                 TimePs timeout_ps = 0);
+
+  /// Forced-PIO copy of any size: CPU MMIO stores through the mmapped
+  /// window, no DMA engine involvement (no doorbell/table-fetch/interrupt
+  /// cost). The source must be host-resident — the CPU issues the stores.
+  /// This is the eager-message transport for payloads around the paper's
+  /// ~2 KB PIO/DMA crossover, above kPioThreshold where memcpy_peer would
+  /// switch to DMA on its own.
+  sim::Task<Status> memcpy_pio(Buffer dst, std::uint64_t dst_off, Buffer src,
+                               std::uint64_t src_off, std::uint64_t bytes);
+
+  /// Single peer copy under a recovery policy: one pipelined descriptor
+  /// run with `options`' per-attempt deadline and bounded retry (see
+  /// Stream::synchronize). `retries_out`, when non-null, receives the
+  /// number of doorbell re-rings the copy needed.
+  sim::Task<Status> memcpy_peer_reliable(Buffer dst, std::uint64_t dst_off,
+                                         Buffer src, std::uint64_t src_off,
+                                         std::uint64_t bytes,
+                                         SyncOptions options,
+                                         std::uint32_t* retries_out = nullptr);
+
   // --- Observability -----------------------------------------------------------
 
   [[nodiscard]] const ApiMetrics& api_metrics() const { return metrics_; }

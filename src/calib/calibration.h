@@ -207,7 +207,9 @@ inline constexpr TimePs kGpuReadLatencyPs = ns(1200);
 inline constexpr std::uint64_t kGpuPinPageBytes = 64ull << 10;  // 64 KiB
 
 /// cudaMemcpy (H2D/D2H over PCIe Gen2 x16): fixed driver/launch overhead plus
-/// an effective copy rate. Used only by the conventional-path baseline.
+/// an effective copy rate. Used by the conventional-path baseline and by
+/// tca::coll's source-side D2H staging (which trades this copy for DMA
+/// reads at the GPU BAR1 ceiling).
 inline constexpr TimePs kCudaMemcpyOverheadPs = us(7);
 inline constexpr double kCudaMemcpyBytesPerSec = 5.7e9;
 

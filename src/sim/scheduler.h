@@ -230,7 +230,11 @@ class Scheduler {
       if (slots_[e.slot].gen == e.gen) heap_[out++] = e;
     }
     heap_.resize(out);
-    for (std::size_t i = out / 4; i-- > 0;) heap_sift_down(i, heap_[i]);
+    // Internal nodes of the 4-ary heap are 0..(out-2)/4, so (out+2)/4 of
+    // them need sifting; out/4 would skip the last one when out % 4 is
+    // 2 or 3, leaving a heap-order violation that later pops would surface
+    // as time running backwards.
+    for (std::size_t i = (out + 2) / 4; i-- > 0;) heap_sift_down(i, heap_[i]);
   }
 
   /// Hole-style sifts: the displaced entry rides in a register while holes

@@ -377,6 +377,129 @@ TEST(Runtime, NotifyAndWaitFlagSynchronize) {
   EXPECT_GE(sched.now(), us(5));
 }
 
+TEST(Runtime, WaitFlagGeWakesOnMonotonicCounters) {
+  sim::Scheduler sched;
+  Runtime rt(sched, small_config());
+  auto flag = rt.alloc_host(1, 64).value();
+
+  // Producer bumps the counter 1, 2, 3 at 5us intervals; a waiter for >= 2
+  // wakes on the second bump even though it never sees the value 2 alone.
+  sim::spawn([](Runtime& r, Buffer f) -> sim::Task<> {
+    for (std::uint32_t v = 1; v <= 3; ++v) {
+      co_await sim::Delay(r.scheduler(), us(5));
+      co_await r.notify(0, f, 0, v);
+    }
+  }(rt, flag));
+
+  auto waiter = rt.wait_flag_ge(flag, 0, 2);
+  sched.run();
+  ASSERT_TRUE(waiter.done());
+  EXPECT_TRUE(waiter.result().is_ok());
+  EXPECT_GE(sched.now(), us(10));
+
+  // A waiter arriving after the counter already passed returns at once.
+  const TimePs before = sched.now();
+  auto late = rt.wait_flag_ge(flag, 0, 1);
+  sched.run();
+  EXPECT_TRUE(late.result().is_ok());
+  EXPECT_EQ(sched.now(), before);
+}
+
+TEST(Runtime, WaitFlagGeTimesOutInsteadOfHanging) {
+  sim::Scheduler sched;
+  Runtime rt(sched, small_config());
+  auto flag = rt.alloc_host(0, 64).value();
+
+  auto waiter = rt.wait_flag_ge(flag, 0, 1, /*timeout_ps=*/us(50));
+  sched.run();  // nobody ever signals: the run must go dry, not hang
+  ASSERT_TRUE(waiter.done());
+  EXPECT_EQ(waiter.result().code(), ErrorCode::kTimedOut);
+  EXPECT_GE(sched.now(), us(50));
+}
+
+TEST(Runtime, MemcpyPioForcesPioAboveTheDmaThreshold) {
+  sim::Scheduler sched;
+  Runtime rt(sched, small_config());
+  auto src = rt.alloc_host(0, 8192).value();
+  auto dst = rt.alloc_host(1, 8192).value();
+  auto data = pattern(4096, 33);
+  rt.write(src, 0, data);
+
+  // 4 KB would ride DMA under memcpy_peer's policy; memcpy_pio must move
+  // it entirely with CPU stores — no chain completes.
+  const std::uint64_t pio0 = rt.api_metrics().pio_ops;
+  std::uint64_t chains0 = 0;
+  for (int ch = 0; ch < calib::kDmaChannels; ++ch) {
+    chains0 += rt.cluster().chip(0).dmac(ch).chains_completed();
+  }
+  auto t = rt.memcpy_pio(dst, 0, src, 0, 4096);
+  sched.run();
+  ASSERT_TRUE(t.result().is_ok()) << t.result().to_string();
+  EXPECT_EQ(rt.api_metrics().pio_ops, pio0 + 1);
+  std::uint64_t chains1 = 0;
+  for (int ch = 0; ch < calib::kDmaChannels; ++ch) {
+    chains1 += rt.cluster().chip(0).dmac(ch).chains_completed();
+  }
+  EXPECT_EQ(chains1, chains0);
+
+  std::vector<std::byte> out(4096);
+  rt.read(dst, 0, out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(Runtime, MemcpyPioRejectsGpuSources) {
+  sim::Scheduler sched;
+  Runtime rt(sched, small_config());
+  auto src = rt.alloc_gpu(0, 0, 4096).value();
+  auto dst = rt.alloc_host(1, 4096).value();
+  auto t = rt.memcpy_pio(dst, 0, src, 0, 1024);  // CPU can't source BAR1
+  sched.run();
+  EXPECT_EQ(t.result().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Runtime, MemcpyPeerReliableReportsZeroRetriesOnAHealthyFabric) {
+  sim::Scheduler sched;
+  Runtime rt(sched, small_config());
+  auto src = rt.alloc_host(0, 32 << 10).value();
+  auto dst = rt.alloc_host(1, 32 << 10).value();
+  auto data = pattern(16 << 10, 44);
+  rt.write(src, 0, data);
+
+  std::uint32_t retries = 99;
+  auto t = rt.memcpy_peer_reliable(
+      dst, 0, src, 0, 16 << 10,
+      SyncOptions{.deadline_ps = us(500), .max_attempts = 3}, &retries);
+  sched.run();
+  ASSERT_TRUE(t.result().is_ok()) << t.result().to_string();
+  EXPECT_EQ(retries, 0u);
+  std::vector<std::byte> out(16 << 10);
+  rt.read(dst, 0, out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(Runtime, MemcpyPeerReliableRetriesAcrossACutCable) {
+  sim::Scheduler sched;
+  TcaConfig config = small_config(4);
+  config.fault_plan.cut(0, us(5));  // dies with the first attempt in flight
+  Runtime rt(sched, config);
+  auto src = rt.alloc_host(0, 256 << 10).value();
+  auto dst = rt.alloc_host(1, 256 << 10).value();
+  auto data = pattern(256 << 10, 45);
+  rt.write(src, 0, data);
+
+  std::uint32_t retries = 0;
+  auto t = rt.memcpy_peer_reliable(
+      dst, 0, src, 0, 256 << 10,
+      SyncOptions{.deadline_ps = us(150), .max_attempts = 3}, &retries);
+  sched.run();
+  ASSERT_TRUE(t.result().is_ok()) << t.result().to_string();
+  EXPECT_GE(retries, 1u);
+  EXPECT_GE(rt.cluster().failovers(), 1u);
+  std::vector<std::byte> out(256 << 10);
+  rt.read(dst, 0, out);
+  EXPECT_EQ(out, data);  // delivered the long way around
+}
+
 TEST(Runtime, PioLatencyBeatsDmaForTinyMessages) {
   sim::Scheduler sched;
   Runtime rt(sched, small_config());

@@ -1,0 +1,794 @@
+// Tests for tca::coll — the communicator-based collective library.
+//
+// The load-bearing suites cross-validate every collective against either
+// baseline::Collectives (bitwise, same ring fold order) or an explicit
+// ring-fold reference model, across rank counts, payload sizes and
+// host/GPU residency. The Recovery pair reruns the PR-3 acceptance
+// scenario at the collective level: an allreduce crossing a FaultPlan-cut
+// ring cable completes via failover + doorbell retry, and with failover
+// disabled the same campaign surfaces kTimedOut instead of wedging. The
+// Soak sweep (ctest label: soak) randomizes the whole matrix.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/tca.h"
+#include "baseline/collectives.h"
+#include "baseline/ib_fabric.h"
+#include "baseline/mpi_lite.h"
+#include "coll/communicator.h"
+#include "common/rng.h"
+#include "common/trace.h"
+#include "obs/metrics.h"
+
+namespace tca::coll {
+namespace {
+
+using units::ms;
+using units::us;
+
+api::TcaConfig cluster_of(std::uint32_t nodes) {
+  return api::TcaConfig{.node_count = nodes,
+                        .node_config = {.gpu_count = 2,
+                                        .host_backing_bytes = 16 << 20,
+                                        .gpu_backing_bytes = 8 << 20}};
+}
+
+std::vector<std::byte> pattern(std::size_t n, std::uint8_t seed = 1) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((seed * 31 + i * 7) & 0xff);
+  }
+  return v;
+}
+
+/// Per-rank input vectors, deterministic in (seed, rank, index).
+std::vector<std::vector<double>> make_inputs(std::uint64_t seed,
+                                             std::uint32_t ranks,
+                                             std::uint64_t count) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> in(ranks);
+  for (std::uint32_t r = 0; r < ranks; ++r) {
+    in[r].resize(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      in[r][i] = (static_cast<double>(rng.next_below(4000)) - 2000.0) / 64.0;
+    }
+  }
+  return in;
+}
+
+/// The ring fold for chunk `c` with first contributor `first`:
+///   acc = in[first]; then acc = in[first+k] + acc for k = 1..n-1
+/// — the exact per-step `own + incoming` order both tca::coll and
+/// baseline::Collectives apply. allreduce folds chunk c with first = c;
+/// reduce_scatter (shift -1, owner r = c) with first = c + 1.
+std::vector<double> ring_fold_reference(
+    const std::vector<std::vector<double>>& in, std::uint64_t chunk_elems,
+    std::uint64_t c, std::uint32_t first) {
+  const auto n = static_cast<std::uint32_t>(in.size());
+  std::vector<double> out(chunk_elems);
+  for (std::uint64_t i = 0; i < chunk_elems; ++i) {
+    double acc = in[first][c * chunk_elems + i];
+    for (std::uint32_t k = 1; k < n; ++k) {
+      acc = in[(first + k) % n][c * chunk_elems + i] + acc;
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+/// Runs the same allreduce over the conventional MPI/IB stack. Pure host
+/// spans: the FP result only depends on the fold order, which is what the
+/// bitwise comparisons check.
+std::vector<std::vector<double>> baseline_allreduce(
+    std::uint32_t n, std::vector<std::vector<double>> data) {
+  sim::Scheduler sched;
+  std::vector<std::unique_ptr<node::ComputeNode>> nodes;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    nodes.push_back(std::make_unique<node::ComputeNode>(
+        sched, static_cast<int>(i),
+        node::NodeConfig{.gpu_count = 2,
+                         .host_backing_bytes = 8 << 20,
+                         .gpu_backing_bytes = 4 << 20}));
+  }
+  std::vector<node::ComputeNode*> ptrs;
+  for (auto& p : nodes) ptrs.push_back(p.get());
+  baseline::IbFabric fabric(sched, ptrs);
+  baseline::MpiLite mpi(sched, fabric);
+  baseline::Collectives coll(mpi, n);
+  for (std::uint32_t r = 0; r < n; ++r) {
+    sim::spawn([](baseline::Collectives& c, std::uint32_t rank,
+                  std::span<double> d) -> sim::Task<> {
+      co_await c.allreduce_sum(rank, d);
+    }(coll, r, std::span(data[r])));
+  }
+  sched.run();
+  return data;
+}
+
+/// Allocates one buffer per rank (host or GPU 0) and loads the inputs.
+std::vector<api::Buffer> load_inputs(
+    api::Runtime& rt, const std::vector<std::vector<double>>& in, bool host) {
+  std::vector<api::Buffer> bufs(in.size());
+  for (std::uint32_t r = 0; r < in.size(); ++r) {
+    const std::uint64_t bytes = in[r].size() * sizeof(double);
+    bufs[r] = host ? rt.alloc_host(r, bytes).value()
+                   : rt.alloc_gpu(r, 0, bytes).value();
+    rt.write(bufs[r], 0, std::as_bytes(std::span(in[r])));
+  }
+  return bufs;
+}
+
+std::vector<double> read_doubles(api::Runtime& rt, api::Buffer buf,
+                                 std::uint64_t offset, std::uint64_t count) {
+  std::vector<double> out(count);
+  rt.read(buf, offset, std::as_writable_bytes(std::span(out)));
+  return out;
+}
+
+/// Spawns `comm.allreduce_sum` on every rank and runs the scheduler.
+std::vector<Status> run_allreduce(sim::Scheduler& sched, Communicator& comm,
+                                  const std::vector<api::Buffer>& bufs,
+                                  std::uint64_t count) {
+  std::vector<Status> st(comm.ranks());
+  for (std::uint32_t r = 0; r < comm.ranks(); ++r) {
+    sim::spawn([](Communicator& c, api::Buffer b, std::uint32_t rank,
+                  std::uint64_t n, Status& out) -> sim::Task<> {
+      out = co_await c.allreduce_sum(rank, b, 0, n);
+    }(comm, bufs[r], r, count, st[r]));
+  }
+  sched.run();
+  return st;
+}
+
+bool bitwise_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+struct ScopedSampling {
+  ScopedSampling() { obs::set_sampling_enabled(true); }
+  ~ScopedSampling() { obs::set_sampling_enabled(false); }
+};
+
+// --- Construction & algorithm selection --------------------------------------
+
+TEST(Coll, CreateValidatesConfig) {
+  sim::Scheduler sched;
+  api::Runtime rt(sched, cluster_of(4));
+
+  auto bad_slots = Communicator::create(rt, CollConfig{.staging_slots = 1});
+  EXPECT_FALSE(bad_slots.is_ok());
+  EXPECT_EQ(bad_slots.status().code(), ErrorCode::kInvalidArgument);
+
+  auto bad_seg =
+      Communicator::create(rt, CollConfig{.pipeline_seg_bytes = 1001});
+  EXPECT_FALSE(bad_seg.is_ok());
+
+  auto ok = Communicator::create(rt);
+  ASSERT_TRUE(ok.is_ok()) << ok.status().to_string();
+  EXPECT_EQ(ok.value().ranks(), 4u);
+}
+
+TEST(Coll, AlgorithmSelectionFollowsSizeAndResidency) {
+  sim::Scheduler sched;
+  api::Runtime rt(sched, cluster_of(2));
+  auto comm = Communicator::create(rt);
+  ASSERT_TRUE(comm.is_ok());
+  const Communicator& c = comm.value();
+
+  // Host payloads at or below the threshold go eager; everything else —
+  // bigger, or GPU-resident at any size — rides the DMA ring.
+  EXPECT_EQ(c.select_algorithm(64, true), Algorithm::kEager);
+  EXPECT_EQ(c.select_algorithm(2048, true), Algorithm::kEager);
+  EXPECT_EQ(c.select_algorithm(2049, true), Algorithm::kRing);
+  EXPECT_EQ(c.select_algorithm(64, false), Algorithm::kRing);
+  EXPECT_EQ(c.select_algorithm(1 << 20, false), Algorithm::kRing);
+}
+
+// --- Allreduce vs the conventional stack (bitwise) ---------------------------
+
+struct AllreduceCase {
+  std::uint32_t ranks;
+  std::uint64_t count;  // doubles per rank (divisible by ranks)
+  bool host;
+};
+
+class AllreduceVsBaseline : public ::testing::TestWithParam<AllreduceCase> {};
+
+TEST_P(AllreduceVsBaseline, MatchesBitwise) {
+  const AllreduceCase& p = GetParam();
+  const auto in = make_inputs(0x5eed0 + p.ranks, p.ranks, p.count);
+
+  sim::Scheduler sched;
+  api::Runtime rt(sched, cluster_of(p.ranks));
+  auto comm = Communicator::create(rt);
+  ASSERT_TRUE(comm.is_ok()) << comm.status().to_string();
+  auto bufs = load_inputs(rt, in, p.host);
+
+  const auto st = run_allreduce(sched, comm.value(), bufs, p.count);
+  for (std::uint32_t r = 0; r < p.ranks; ++r) {
+    ASSERT_TRUE(st[r].is_ok()) << "rank " << r << ": " << st[r].to_string();
+  }
+
+  const auto expected = baseline_allreduce(p.ranks, in);
+  for (std::uint32_t r = 0; r < p.ranks; ++r) {
+    const auto got = read_doubles(rt, bufs[r], 0, p.count);
+    EXPECT_TRUE(bitwise_equal(got, expected[r]))
+        << "rank " << r << " diverged from baseline::Collectives";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesRanksResidency, AllreduceVsBaseline,
+    ::testing::Values(
+        AllreduceCase{2, 64, true},     // 512 B host: eager path
+        AllreduceCase{2, 256, true},    // 2 KB host: eager, at the threshold
+        AllreduceCase{4, 64, true},     // eager with a gather fan-in
+        AllreduceCase{4, 4096, true},   // 32 KB host: ring, no staging
+        AllreduceCase{4, 4096, false},  // 32 KB GPU: ring, staged + carried
+        AllreduceCase{8, 8192, false}), // 64 KB GPU on 8 ranks
+    [](const auto& param_info) {
+      const AllreduceCase& c = param_info.param;
+      return std::to_string(c.ranks) + "ranks_" + std::to_string(c.count) +
+             (c.host ? "_host" : "_gpu");
+    });
+
+TEST(Coll, AllreduceLargeGpuStagesOnceThenCarries) {
+  // 256 KB per rank on 4 ranks: every chunk is one 64 KB segment, so per
+  // rank the six ring sends (3 reduce-scatter + 3 allgather) stage exactly
+  // the first one D2H and forward the other five from the host-carried
+  // fold of the previous step.
+  constexpr std::uint32_t kRanks = 4;
+  constexpr std::uint64_t kCount = 32768;
+  const auto in = make_inputs(0xca44, kRanks, kCount);
+
+  sim::Scheduler sched;
+  api::Runtime rt(sched, cluster_of(kRanks));
+  auto comm = Communicator::create(rt);
+  ASSERT_TRUE(comm.is_ok());
+  auto bufs = load_inputs(rt, in, /*host=*/false);
+
+  const auto st = run_allreduce(sched, comm.value(), bufs, kCount);
+  for (const Status& s : st) ASSERT_TRUE(s.is_ok()) << s.to_string();
+
+  const CollMetrics& m = comm.value().metrics();
+  EXPECT_GT(m.staged_d2h_bytes, 0u);
+  EXPECT_GT(m.host_carry_bytes, 0u);
+  // The carry does the bulk of the work: 5 of 6 sends per rank.
+  EXPECT_EQ(m.staged_d2h_bytes, kRanks * (kCount / kRanks) * 8);
+  EXPECT_EQ(m.host_carry_bytes, 5 * m.staged_d2h_bytes);
+
+  // Bit-identical to the conventional stack even with the carry in play.
+  const auto expected = baseline_allreduce(kRanks, in);
+  for (std::uint32_t r = 0; r < kRanks; ++r) {
+    EXPECT_TRUE(bitwise_equal(read_doubles(rt, bufs[r], 0, kCount),
+                              expected[r]))
+        << "rank " << r;
+  }
+}
+
+// --- Reduce-scatter / allgather against the fold reference -------------------
+
+TEST(Coll, ReduceScatterOwnsChunkWithRingFoldOrder) {
+  constexpr std::uint32_t kRanks = 4;
+  constexpr std::uint64_t kCount = 1024;
+  constexpr std::uint64_t kChunk = kCount / kRanks;
+  const auto in = make_inputs(0x5ca7, kRanks, kCount);
+
+  sim::Scheduler sched;
+  api::Runtime rt(sched, cluster_of(kRanks));
+  auto comm = Communicator::create(rt);
+  ASSERT_TRUE(comm.is_ok());
+  auto bufs = load_inputs(rt, in, /*host=*/true);
+
+  std::vector<Status> st(kRanks);
+  for (std::uint32_t r = 0; r < kRanks; ++r) {
+    sim::spawn([](Communicator& c, api::Buffer b, std::uint32_t rank,
+                  Status& out) -> sim::Task<> {
+      out = co_await c.reduce_scatter_sum(rank, b, 0, kCount);
+    }(comm.value(), bufs[r], r, st[r]));
+  }
+  sched.run();
+  for (const Status& s : st) ASSERT_TRUE(s.is_ok()) << s.to_string();
+
+  // Rank r owns chunk r, folded in ring order with first contributor r+1.
+  for (std::uint32_t r = 0; r < kRanks; ++r) {
+    const auto expected =
+        ring_fold_reference(in, kChunk, r, (r + 1) % kRanks);
+    const auto got = read_doubles(rt, bufs[r], r * kChunk * 8, kChunk);
+    EXPECT_TRUE(bitwise_equal(got, expected)) << "rank " << r;
+  }
+}
+
+TEST(Coll, AllgatherReplicatesEveryChunkEverywhere) {
+  constexpr std::uint32_t kRanks = 4;
+  constexpr std::uint64_t kChunkBytes = 16 << 10;  // >= gpu_staging_min
+
+  sim::Scheduler sched;
+  api::Runtime rt(sched, cluster_of(kRanks));
+  auto comm = Communicator::create(rt);
+  ASSERT_TRUE(comm.is_ok());
+
+  std::vector<api::Buffer> bufs(kRanks);
+  std::vector<std::vector<std::byte>> chunk(kRanks);
+  for (std::uint32_t r = 0; r < kRanks; ++r) {
+    bufs[r] = rt.alloc_gpu(r, 0, kRanks * kChunkBytes).value();
+    chunk[r] = pattern(kChunkBytes, static_cast<std::uint8_t>(r + 1));
+    rt.write(bufs[r], r * kChunkBytes, chunk[r]);
+  }
+
+  std::vector<Status> st(kRanks);
+  for (std::uint32_t r = 0; r < kRanks; ++r) {
+    sim::spawn([](Communicator& c, api::Buffer b, std::uint32_t rank,
+                  Status& out) -> sim::Task<> {
+      out = co_await c.allgather(rank, b, 0, kChunkBytes);
+    }(comm.value(), bufs[r], r, st[r]));
+  }
+  sched.run();
+  for (const Status& s : st) ASSERT_TRUE(s.is_ok()) << s.to_string();
+
+  for (std::uint32_t r = 0; r < kRanks; ++r) {
+    for (std::uint32_t c = 0; c < kRanks; ++c) {
+      std::vector<std::byte> out(kChunkBytes);
+      rt.read(bufs[r], c * kChunkBytes, out);
+      EXPECT_EQ(out, chunk[c]) << "rank " << r << " chunk " << c;
+    }
+  }
+}
+
+// --- Broadcast ---------------------------------------------------------------
+
+TEST(Coll, BroadcastEagerDeliversSmallHostPayloads) {
+  constexpr std::uint32_t kRanks = 4;
+  constexpr std::uint64_t kBytes = 1024;
+  constexpr std::uint32_t kRoot = 2;
+
+  sim::Scheduler sched;
+  api::Runtime rt(sched, cluster_of(kRanks));
+  auto comm = Communicator::create(rt);
+  ASSERT_TRUE(comm.is_ok());
+
+  const auto payload = pattern(kBytes, 9);
+  std::vector<api::Buffer> bufs(kRanks);
+  for (std::uint32_t r = 0; r < kRanks; ++r) {
+    bufs[r] = rt.alloc_host(r, kBytes).value();
+    if (r == kRoot) rt.write(bufs[r], 0, payload);
+  }
+
+  std::vector<Status> st(kRanks);
+  for (std::uint32_t r = 0; r < kRanks; ++r) {
+    sim::spawn([](Communicator& c, api::Buffer b, std::uint32_t rank,
+                  Status& out) -> sim::Task<> {
+      out = co_await c.broadcast(rank, kRoot, b, 0, kBytes);
+    }(comm.value(), bufs[r], r, st[r]));
+  }
+  sched.run();
+  for (const Status& s : st) ASSERT_TRUE(s.is_ok()) << s.to_string();
+  EXPECT_GT(comm.value().metrics().eager_ops, 0u);
+
+  for (std::uint32_t r = 0; r < kRanks; ++r) {
+    std::vector<std::byte> out(kBytes);
+    rt.read(bufs[r], 0, out);
+    EXPECT_EQ(out, payload) << "rank " << r;
+  }
+}
+
+TEST(Coll, BroadcastRingRelaysLargeGpuPayloads) {
+  constexpr std::uint32_t kRanks = 4;
+  constexpr std::uint64_t kBytes = 128 << 10;  // 2 segments/rank, relayed
+  constexpr std::uint32_t kRoot = 1;
+
+  sim::Scheduler sched;
+  api::Runtime rt(sched, cluster_of(kRanks));
+  auto comm = Communicator::create(rt);
+  ASSERT_TRUE(comm.is_ok());
+
+  const auto payload = pattern(kBytes, 17);
+  std::vector<api::Buffer> bufs(kRanks);
+  for (std::uint32_t r = 0; r < kRanks; ++r) {
+    bufs[r] = rt.alloc_gpu(r, 0, kBytes).value();
+    if (r == kRoot) rt.write(bufs[r], 0, payload);
+  }
+
+  std::vector<Status> st(kRanks);
+  for (std::uint32_t r = 0; r < kRanks; ++r) {
+    sim::spawn([](Communicator& c, api::Buffer b, std::uint32_t rank,
+                  Status& out) -> sim::Task<> {
+      out = co_await c.broadcast(rank, kRoot, b, 0, kBytes);
+    }(comm.value(), bufs[r], r, st[r]));
+  }
+  sched.run();
+  for (const Status& s : st) ASSERT_TRUE(s.is_ok()) << s.to_string();
+  EXPECT_GT(comm.value().metrics().ring_ops, 0u);
+  EXPECT_GT(comm.value().metrics().staged_d2h_bytes, 0u);  // root staged
+
+  for (std::uint32_t r = 0; r < kRanks; ++r) {
+    std::vector<std::byte> out(kBytes);
+    rt.read(bufs[r], 0, out);
+    EXPECT_EQ(out, payload) << "rank " << r;
+  }
+}
+
+// --- Barrier -----------------------------------------------------------------
+
+TEST(Coll, BarrierReleasesOnlyAfterTheLastArrival) {
+  constexpr std::uint32_t kRanks = 4;
+  sim::Scheduler sched;
+  api::Runtime rt(sched, cluster_of(kRanks));
+  auto comm = Communicator::create(rt);
+  ASSERT_TRUE(comm.is_ok());
+
+  // Two consecutive barriers (distinct epochs); rank r arrives at r*10us.
+  std::vector<Status> st(kRanks);
+  std::vector<TimePs> released(kRanks, 0);
+  for (std::uint32_t r = 0; r < kRanks; ++r) {
+    sim::spawn([](Communicator& c, sim::Scheduler& s, std::uint32_t rank,
+                  Status& out, TimePs& when) -> sim::Task<> {
+      co_await sim::Delay(s, us(10) * rank);
+      out = co_await c.barrier(rank);
+      if (out.is_ok()) out = co_await c.barrier(rank);
+      when = s.now();
+    }(comm.value(), sched, r, st[r], released[r]));
+  }
+  sched.run();
+  for (std::uint32_t r = 0; r < kRanks; ++r) {
+    ASSERT_TRUE(st[r].is_ok()) << "rank " << r << ": " << st[r].to_string();
+    // Nobody may leave the first barrier before the last rank arrived.
+    EXPECT_GE(released[r], us(10) * (kRanks - 1)) << "rank " << r;
+  }
+  EXPECT_EQ(comm.value().metrics().barrier_ops, 2u * kRanks);
+}
+
+// --- Halo exchange -----------------------------------------------------------
+
+// Region layout within each rank's buffer, in units of `bytes`:
+//   [0] recv_from_prev  [1] send_to_prev  [2] send_to_next  [3] recv_from_next
+HaloSpec halo_spec(api::Buffer buf, std::uint64_t bytes) {
+  return HaloSpec{.buf = buf,
+                  .send_to_next_off = 2 * bytes,
+                  .send_to_prev_off = bytes,
+                  .recv_from_prev_off = 0,
+                  .recv_from_next_off = 3 * bytes,
+                  .bytes = bytes};
+}
+
+void run_halo_and_verify(std::uint64_t bytes, bool host) {
+  constexpr std::uint32_t kRanks = 4;
+  sim::Scheduler sched;
+  api::Runtime rt(sched, cluster_of(kRanks));
+  auto comm = Communicator::create(rt);
+  ASSERT_TRUE(comm.is_ok());
+
+  std::vector<api::Buffer> bufs(kRanks);
+  std::vector<std::vector<std::byte>> to_prev(kRanks), to_next(kRanks);
+  for (std::uint32_t r = 0; r < kRanks; ++r) {
+    bufs[r] = host ? rt.alloc_host(r, 4 * bytes).value()
+                   : rt.alloc_gpu(r, 0, 4 * bytes).value();
+    to_prev[r] = pattern(bytes, static_cast<std::uint8_t>(2 * r + 1));
+    to_next[r] = pattern(bytes, static_cast<std::uint8_t>(2 * r + 2));
+    rt.write(bufs[r], bytes, to_prev[r]);
+    rt.write(bufs[r], 2 * bytes, to_next[r]);
+  }
+
+  std::vector<Status> st(kRanks);
+  for (std::uint32_t r = 0; r < kRanks; ++r) {
+    sim::spawn([](Communicator& c, HaloSpec spec, std::uint32_t rank,
+                  Status& out) -> sim::Task<> {
+      out = co_await c.neighbor_exchange(rank, spec);
+    }(comm.value(), halo_spec(bufs[r], bytes), r, st[r]));
+  }
+  sched.run();
+  for (const Status& s : st) ASSERT_TRUE(s.is_ok()) << s.to_string();
+
+  for (std::uint32_t r = 0; r < kRanks; ++r) {
+    const std::uint32_t prev = (r + kRanks - 1) % kRanks;
+    const std::uint32_t next = (r + 1) % kRanks;
+    std::vector<std::byte> got(bytes);
+    rt.read(bufs[r], 0, got);
+    EXPECT_EQ(got, to_next[prev]) << "rank " << r << " from prev";
+    rt.read(bufs[r], 3 * bytes, got);
+    EXPECT_EQ(got, to_prev[next]) << "rank " << r << " from next";
+  }
+  EXPECT_EQ(comm.value().metrics().halo_ops, kRanks);
+}
+
+TEST(Coll, NeighborExchangeEagerMovesSmallHostRows) {
+  run_halo_and_verify(/*bytes=*/512, /*host=*/true);
+}
+
+TEST(Coll, NeighborExchangeDmaMovesLargeGpuRows) {
+  run_halo_and_verify(/*bytes=*/16 << 10, /*host=*/false);
+}
+
+// --- Argument validation & op-sequence divergence ----------------------------
+
+TEST(Coll, ValidatesCollectiveArguments) {
+  sim::Scheduler sched;
+  api::Runtime rt(sched, cluster_of(4));
+  auto comm = Communicator::create(rt);
+  ASSERT_TRUE(comm.is_ok());
+  Communicator& c = comm.value();
+  auto mine = rt.alloc_host(0, 4096).value();
+  auto theirs = rt.alloc_host(1, 4096).value();
+
+  auto bad_rank = c.barrier(9);
+  sched.run();
+  EXPECT_EQ(bad_rank.result().code(), ErrorCode::kInvalidArgument);
+
+  auto wrong_node = c.allreduce_sum(0, theirs, 0, 4);  // buffer on node 1
+  sched.run();
+  EXPECT_EQ(wrong_node.result().code(), ErrorCode::kInvalidArgument);
+
+  auto overflow = c.broadcast(0, 0, mine, 4000, 1024);
+  sched.run();
+  EXPECT_EQ(overflow.result().code(), ErrorCode::kOutOfRange);
+
+  auto bad_count = c.allreduce_sum(0, mine, 0, 6);  // not a multiple of 4
+  sched.run();
+  EXPECT_EQ(bad_count.result().code(), ErrorCode::kInvalidArgument);
+
+  auto big_halo = c.neighbor_exchange(
+      0, HaloSpec{.buf = mine, .bytes = 128 << 10});  // > one staging slot
+  sched.run();
+  EXPECT_EQ(big_halo.result().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Coll, DivergedOpSequenceIsDetectedDeterministically) {
+  sim::Scheduler sched;
+  api::Runtime rt(sched, cluster_of(2));
+  // Bounded waits so the non-diverged rank reports kTimedOut instead of
+  // polling forever for a partner that took a different branch.
+  auto comm = Communicator::create(rt, CollConfig{.flag_timeout_ps = us(500)});
+  ASSERT_TRUE(comm.is_ok());
+  auto bufs = load_inputs(rt, make_inputs(1, 2, 64), /*host=*/true);
+
+  std::vector<Status> st(2);
+  sim::spawn([](Communicator& c, api::Buffer b, Status& out) -> sim::Task<> {
+    out = co_await c.allreduce_sum(0, b, 0, 64);
+  }(comm.value(), bufs[0], st[0]));
+  sim::spawn([](Communicator& c, Status& out) -> sim::Task<> {
+    out = co_await c.barrier(1);  // diverges: rank 0 called allreduce
+  }(comm.value(), st[1]));
+  sched.run();
+
+  // Rank 0 registered the op first, so rank 1 is the one that diverged;
+  // rank 0's wait for its vanished partner expires instead of hanging.
+  EXPECT_EQ(st[1].code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(st[0].code(), ErrorCode::kTimedOut);
+}
+
+// --- Metrics & export --------------------------------------------------------
+
+TEST(Coll, MetricsCountOpsAndExportThroughTheRegistry) {
+  ScopedSampling sampling;
+  constexpr std::uint32_t kRanks = 4;
+  sim::Scheduler sched;
+  api::Runtime rt(sched, cluster_of(kRanks));
+  auto comm = Communicator::create(rt);
+  ASSERT_TRUE(comm.is_ok());
+
+  const auto eager_in = make_inputs(2, kRanks, 64);     // 512 B: eager
+  const auto ring_in = make_inputs(3, kRanks, 16384);   // 128 KB GPU: ring
+  auto eager_bufs = load_inputs(rt, eager_in, /*host=*/true);
+  auto ring_bufs = load_inputs(rt, ring_in, /*host=*/false);
+
+  std::vector<Status> st(kRanks);
+  for (std::uint32_t r = 0; r < kRanks; ++r) {
+    sim::spawn([](Communicator& c, api::Buffer eager_buf, api::Buffer ring_buf,
+                  std::uint32_t rank, Status& out) -> sim::Task<> {
+      out = co_await c.barrier(rank);
+      if (out.is_ok()) {
+        out = co_await c.allreduce_sum(rank, eager_buf, 0, 64);
+      }
+      if (out.is_ok()) {
+        out = co_await c.allreduce_sum(rank, ring_buf, 0, 16384);
+      }
+    }(comm.value(), eager_bufs[r], ring_bufs[r], r, st[r]));
+  }
+  sched.run();
+  for (const Status& s : st) ASSERT_TRUE(s.is_ok()) << s.to_string();
+
+  const CollMetrics& m = comm.value().metrics();
+  EXPECT_EQ(m.barrier_ops, kRanks);
+  EXPECT_EQ(m.allreduce_ops, 2u * kRanks);
+  EXPECT_EQ(m.eager_ops, kRanks);
+  EXPECT_EQ(m.ring_ops, kRanks);
+  EXPECT_GT(m.bytes, 0u);
+  EXPECT_GT(m.staged_d2h_bytes, 0u);
+  EXPECT_GT(m.host_carry_bytes, 0u);
+  EXPECT_EQ(m.put_retries, 0u);  // healthy fabric
+
+  obs::MetricRegistry reg;
+  comm.value().export_metrics(reg);
+  EXPECT_EQ(reg.counter_value("coll.barrier_ops"), kRanks);
+  EXPECT_EQ(reg.counter_value("coll.allreduce_ops"), 2u * kRanks);
+  EXPECT_EQ(reg.counter_value("coll.host_carry_bytes"), m.host_carry_bytes);
+  EXPECT_EQ(reg.counter_value("coll.staged_d2h_bytes"), m.staged_d2h_bytes);
+  EXPECT_TRUE(reg.has_histogram("coll.barrier.latency_ps"));
+  EXPECT_TRUE(reg.has_histogram("coll.allreduce.eager_latency_ps"));
+  EXPECT_TRUE(reg.has_histogram("coll.allreduce.ring_latency_ps"));
+  // The api.* and fabric.* roll-ups ride along in the same registry.
+  EXPECT_TRUE(reg.has_counter("api.memcpy.ops"));
+  EXPECT_TRUE(reg.has_counter("fabric.payload_bytes"));
+}
+
+// --- Fault recovery ----------------------------------------------------------
+
+TEST(Recovery, CollAllreduceSurvivesRingCableCutViaFailover) {
+  constexpr std::uint32_t kRanks = 4;
+  constexpr std::uint64_t kCount = 8192;  // 64 KB per rank, host ring
+  const auto in = make_inputs(0xfa11, kRanks, kCount);
+
+  sim::Scheduler sched;
+  auto config = cluster_of(kRanks);
+  config.fault_plan.cut(0, us(5));  // node0 East dies mid-collective
+  api::Runtime rt(sched, config);
+  auto comm = Communicator::create(
+      rt, CollConfig{.sync = {.deadline_ps = us(300), .max_attempts = 4},
+                     .flag_timeout_ps = ms(50)});
+  ASSERT_TRUE(comm.is_ok());
+  auto bufs = load_inputs(rt, in, /*host=*/true);
+
+  const auto st = run_allreduce(sched, comm.value(), bufs, kCount);
+  for (std::uint32_t r = 0; r < kRanks; ++r) {
+    ASSERT_TRUE(st[r].is_ok()) << "rank " << r << ": " << st[r].to_string();
+  }
+
+  // The collective recovered the long way around the ring...
+  EXPECT_FALSE(rt.cluster().ring_cable_usable(0));
+  EXPECT_GE(rt.cluster().failovers(), 1u);
+  EXPECT_GE(comm.value().metrics().put_retries, 1u);
+
+  // ...and the result is still bit-identical to the conventional stack.
+  const auto expected = baseline_allreduce(kRanks, in);
+  for (std::uint32_t r = 0; r < kRanks; ++r) {
+    EXPECT_TRUE(bitwise_equal(read_doubles(rt, bufs[r], 0, kCount),
+                              expected[r]))
+        << "rank " << r;
+  }
+}
+
+TEST(Recovery, CollAllreduceSurfacesTimedOutWithoutFailover) {
+  constexpr std::uint32_t kRanks = 2;
+  constexpr std::uint64_t kCount = 8192;
+  const auto in = make_inputs(0xdead, kRanks, kCount);
+
+  sim::Scheduler sched;
+  auto config = cluster_of(kRanks);
+  config.fault_plan.cut(0, us(5));
+  config.enable_failover = false;
+  api::Runtime rt(sched, config);
+  auto comm = Communicator::create(
+      rt, CollConfig{.sync = {.deadline_ps = us(200), .max_attempts = 2},
+                     .flag_timeout_ps = ms(2)});
+  ASSERT_TRUE(comm.is_ok());
+  auto bufs = load_inputs(rt, in, /*host=*/true);
+
+  const auto st = run_allreduce(sched, comm.value(), bufs, kCount);
+
+  // The whole point: the simulation ran dry (sched.run() returned) with
+  // every rank holding a failure instead of wedging on a dead cable.
+  for (std::uint32_t r = 0; r < kRanks; ++r) {
+    EXPECT_FALSE(st[r].is_ok()) << "rank " << r;
+  }
+  EXPECT_TRUE(st[0].code() == ErrorCode::kTimedOut ||
+              st[1].code() == ErrorCode::kTimedOut);
+  EXPECT_EQ(rt.cluster().failovers(), 0u);
+  EXPECT_LE(sched.now(), ms(20));
+}
+
+// --- Determinism -------------------------------------------------------------
+
+// One traced collective campaign under a link flap: allreduce on 4 ranks
+// while cable 0 goes down for 100us. Returns the trace JSON.
+std::string run_traced_campaign() {
+  Trace::instance().clear();
+  Trace::instance().enable();
+  std::string json;
+  {
+    constexpr std::uint32_t kRanks = 4;
+    constexpr std::uint64_t kCount = 8192;
+    sim::Scheduler sched;
+    auto config = cluster_of(kRanks);
+    config.fault_plan.flap(0, us(5), us(100));
+    api::Runtime rt(sched, config);
+    auto comm = Communicator::create(
+        rt, CollConfig{.sync = {.deadline_ps = us(300), .max_attempts = 4},
+                       .flag_timeout_ps = ms(50)});
+    EXPECT_TRUE(comm.is_ok());
+    auto bufs =
+        load_inputs(rt, make_inputs(0x7ace, kRanks, kCount), /*host=*/true);
+    const auto st = run_allreduce(sched, comm.value(), bufs, kCount);
+    for (const Status& s : st) EXPECT_TRUE(s.is_ok()) << s.to_string();
+    json = Trace::instance().to_json();
+  }
+  Trace::instance().disable();
+  Trace::instance().clear();
+  return json;
+}
+
+TEST(Determinism, CollectiveCampaignUnderFaultsReplaysIdentically) {
+  const std::string first = run_traced_campaign();
+  const std::string second = run_traced_campaign();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+// --- Randomized sweep (ctest label: soak) ------------------------------------
+
+TEST(Soak, RandomizedAllreduceSweepMatchesBaseline) {
+  Rng rng(20260806);
+  for (int iter = 0; iter < 8; ++iter) {
+    const std::uint32_t n = 2u << rng.next_below(3);  // 2, 4 or 8 ranks
+    const std::uint64_t count = n * (1 + rng.next_below(512));
+    const bool host = rng.next_below(2) == 0;
+    SCOPED_TRACE("iter " + std::to_string(iter) + ": n=" + std::to_string(n) +
+                 " count=" + std::to_string(count) +
+                 (host ? " host" : " gpu"));
+    const auto in = make_inputs(rng.next_u64(), n, count);
+
+    sim::Scheduler sched;
+    api::Runtime rt(sched, cluster_of(n));
+    auto comm = Communicator::create(rt);
+    ASSERT_TRUE(comm.is_ok());
+    auto bufs = load_inputs(rt, in, host);
+    const auto st = run_allreduce(sched, comm.value(), bufs, count);
+    for (const Status& s : st) ASSERT_TRUE(s.is_ok()) << s.to_string();
+
+    const auto expected = baseline_allreduce(n, in);
+    for (std::uint32_t r = 0; r < n; ++r) {
+      ASSERT_TRUE(bitwise_equal(read_doubles(rt, bufs[r], 0, count),
+                                expected[r]))
+          << "rank " << r;
+    }
+  }
+}
+
+TEST(Soak, ReduceScatterThenAllgatherEqualsTheFullSum) {
+  Rng rng(4242);
+  for (int iter = 0; iter < 4; ++iter) {
+    const std::uint32_t n = 2u << rng.next_below(3);
+    const std::uint64_t count = n * (8 + rng.next_below(256));
+    SCOPED_TRACE("iter " + std::to_string(iter) + ": n=" + std::to_string(n) +
+                 " count=" + std::to_string(count));
+    const auto in = make_inputs(rng.next_u64(), n, count);
+
+    sim::Scheduler sched;
+    api::Runtime rt(sched, cluster_of(n));
+    auto comm = Communicator::create(rt);
+    ASSERT_TRUE(comm.is_ok());
+    auto bufs = load_inputs(rt, in, /*host=*/true);
+
+    std::vector<Status> st(n);
+    for (std::uint32_t r = 0; r < n; ++r) {
+      sim::spawn([](Communicator& c, api::Buffer b, std::uint32_t rank,
+                    std::uint64_t cnt, Status& out) -> sim::Task<> {
+        out = co_await c.reduce_scatter_sum(rank, b, 0, cnt);
+        if (out.is_ok()) {
+          out = co_await c.allgather(rank, b, 0, (cnt / c.ranks()) * 8);
+        }
+      }(comm.value(), bufs[r], r, count, st[r]));
+    }
+    sched.run();
+    for (const Status& s : st) ASSERT_TRUE(s.is_ok()) << s.to_string();
+
+    // Chunk c everywhere = the ring fold with first contributor c+1 (the
+    // reduce-scatter order); every rank agrees bitwise.
+    const std::uint64_t chunk = count / n;
+    for (std::uint32_t c = 0; c < n; ++c) {
+      const auto expected = ring_fold_reference(in, chunk, c, (c + 1) % n);
+      for (std::uint32_t r = 0; r < n; ++r) {
+        ASSERT_TRUE(bitwise_equal(
+            read_doubles(rt, bufs[r], c * chunk * 8, chunk), expected))
+            << "rank " << r << " chunk " << c;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tca::coll

@@ -2,9 +2,12 @@
 // Trigger and Semaphore.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/units.h"
 #include "sim/scheduler.h"
 #include "sim/sync.h"
@@ -123,6 +126,45 @@ TEST(Scheduler, EmptyReflectsCancellations) {
   EXPECT_FALSE(sched.empty());
   sched.cancel(id);
   EXPECT_TRUE(sched.empty());
+}
+
+TEST(Scheduler, FireOrderSurvivesCancelHeavyCompaction) {
+  // Cancel-heavy churn — watchdogs armed and cancelled from inside running
+  // callbacks, the shape DMA chain timeouts produce — drives thousands of
+  // compact() sweeps. Regression: the in-place heap rebuild used to skip
+  // the last internal node whenever the survivor count was 2 or 3 mod 4,
+  // and one of those skipped nodes eventually surfaced as simulated time
+  // running backwards. Bulk cancel-then-drain self-heals (the damaged
+  // node's children sit at the array tail, which refills the root first),
+  // so the churn must interleave with draining; this seed fails the old
+  // rebuild within ~200k ticks.
+  Rng rng(8 * 0x9e3779b97f4a7c15ull);
+  Scheduler sched;
+  std::vector<Scheduler::EventId> watchdogs;
+  TimePs last_fired = 0;
+  std::uint64_t budget = 200000;
+  std::function<void()> tick = [&] {
+    ASSERT_GE(sched.now(), last_fired);
+    last_fired = sched.now();
+    if (budget-- == 0) return;
+    while (watchdogs.size() > 8) {  // most watchdogs "complete": cancel
+      std::size_t k = rng.next_below(watchdogs.size());
+      sched.cancel(watchdogs[k]);
+      watchdogs[k] = watchdogs.back();
+      watchdogs.pop_back();
+    }
+    const std::uint64_t burst = 8 + rng.next_below(56);
+    for (std::uint64_t i = 0; i < burst; ++i) {
+      const TimePs t =
+          sched.now() + ns(1 + static_cast<TimePs>(rng.next_below(5000)));
+      watchdogs.push_back(sched.schedule_at(t, [] {}));
+    }
+    sched.schedule_after(ns(1 + static_cast<TimePs>(rng.next_below(40))),
+                         tick);
+  };
+  sched.schedule_at(0, tick);
+  sched.run();
+  EXPECT_EQ(budget, std::numeric_limits<std::uint64_t>::max());
 }
 
 // --- Coroutine tasks -------------------------------------------------------

@@ -18,13 +18,24 @@
 //   tca_explore --fault-plan "cut:cable=0,at=2us" --deadline 2000 --attempts 3
 //   tca_explore --fault-plan "ber:cable=0,at=0,for=1ms,rate=1e-6" --stats
 //   tca_explore --no-failover --fault-plan "cut:cable=0,at=2us" --deadline 500
+//
+// Collective workloads (tca::coll over the api::Runtime, GPU-resident):
+//   tca_explore --workload allreduce --size 1048576 --nodes 8
+//   tca_explore --workload halo --size 8192 --stats
+//   tca_explore --workload allreduce --size 65536
+//       --fault-plan "cut:cable=0,at=5us" --deadline 300 --attempts 4
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "api/tca.h"
 #include "bench/bench_util.h"
+#include "coll/communicator.h"
 #include "common/trace.h"
 #include "fabric/fault_plan.h"
 #include "obs/metrics.h"
@@ -51,6 +62,8 @@ struct Options {
   bool failover = true;           // ring failover on cable death
   std::uint32_t deadline_us = 0;  // per-attempt chain watchdog (0 = off)
   std::uint32_t attempts = 1;     // doorbell attempts per chain
+  std::string workload;           // "" | allreduce | halo (tca::coll mode)
+  std::uint64_t size = 1ull << 20;  // workload payload bytes
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -62,7 +75,8 @@ struct Options {
       "          [--burst K] [--dest NODE] [--sizes a,b,c]\n"
       "          [--trace FILE] [--stats] [--stats-out FILE]\n"
       "          [--fault-plan SPEC] [--no-failover] [--deadline USEC]\n"
-      "          [--attempts N]\n",
+      "          [--attempts N]\n"
+      "          [--workload allreduce|halo --size BYTES]\n",
       argv0);
   std::exit(2);
 }
@@ -129,10 +143,19 @@ Options parse(int argc, char** argv) {
       opt.deadline_us = static_cast<std::uint32_t>(std::stoul(next()));
     } else if (a == "--attempts") {
       opt.attempts = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (a == "--workload") {
+      opt.workload = next();
+    } else if (a == "--size") {
+      opt.size = std::stoull(next());
     } else {
       usage(argv[0]);
     }
   }
+  if (!opt.workload.empty() && opt.workload != "allreduce" &&
+      opt.workload != "halo") {
+    usage(argv[0]);
+  }
+  if (!opt.workload.empty() && opt.size == 0) usage(argv[0]);
   if (opt.op != "write" && opt.op != "read" && opt.op != "pipelined" &&
       opt.op != "pio") {
     usage(argv[0]);
@@ -142,6 +165,231 @@ Options parse(int argc, char** argv) {
   return opt;
 }
 
+/// --workload mode: drive one tca::coll collective (GPU-resident) over the
+/// api::Runtime instead of raw driver chains, composing with --nodes,
+/// --topology, --fault-plan, --no-failover, --deadline, --attempts,
+/// --stats and --trace. A healthy run exits non-zero on verification
+/// failure; under a fault campaign the printed outcome IS the experiment,
+/// so the run exits zero either way.
+int run_workload(const Options& opt) {
+  sim::Scheduler sched;
+  const api::TcaConfig config{
+      .node_count = opt.nodes,
+      .topology = opt.topology,
+      .node_config = {.gpu_count = 2,
+                      .host_backing_bytes = 64ull << 20,
+                      .gpu_backing_bytes = 64ull << 20},
+      .fault_plan = opt.fault_plan,
+      .enable_failover = opt.failover};
+  if (Status st = api::Runtime::validate_config(config); !st.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", st.to_string().c_str());
+    return 2;
+  }
+  api::Runtime rt(sched, config);
+
+  coll::CollConfig cfg;
+  cfg.sync.max_attempts = opt.attempts;
+  if (opt.deadline_us > 0) cfg.sync.deadline_ps = units::us(opt.deadline_us);
+  // A fault campaign may kill a neighbor's doorbell outright; bound the
+  // flag waits so the run reports kTimedOut instead of never terminating.
+  if (!opt.fault_plan.empty() && cfg.flag_timeout_ps == 0) {
+    cfg.flag_timeout_ps = units::ms(50);
+  }
+  auto comm_res = coll::Communicator::create(rt, cfg);
+  if (!comm_res.is_ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 comm_res.status().to_string().c_str());
+    return 2;
+  }
+  coll::Communicator& comm = comm_res.value();
+
+  std::printf("tca_explore: %u-node %s, workload=%s size=%s\n", opt.nodes,
+              opt.topology == fabric::Topology::kRing ? "ring" : "dual-ring",
+              opt.workload.c_str(),
+              units::format_size(opt.size).c_str());
+
+  std::vector<Status> st(opt.nodes, Status::ok());
+  bool verified = false;
+  std::uint64_t payload = 0;  // per-rank payload bytes, for the GB/s line
+  TimePs elapsed = 0;
+
+  if (opt.workload == "allreduce") {
+    std::uint64_t count = opt.size / sizeof(double);
+    count -= count % opt.nodes;  // the ring partitions the vector evenly
+    if (count == 0) {
+      std::fprintf(stderr, "error: --size must cover at least %u doubles\n",
+                   opt.nodes);
+      return 2;
+    }
+    payload = count * sizeof(double);
+    Rng rng(42);
+    std::vector<std::vector<double>> in(opt.nodes);
+    std::vector<api::Buffer> bufs(opt.nodes);
+    for (std::uint32_t r = 0; r < opt.nodes; ++r) {
+      in[r].resize(count);
+      for (double& x : in[r]) x = rng.next_double() * 2.0 - 1.0;
+      bufs[r] = rt.alloc_gpu(r, 0, payload).value();
+      rt.write(bufs[r], 0, std::as_bytes(std::span(in[r])));
+    }
+    const TimePs t0 = sched.now();
+    for (std::uint32_t r = 0; r < opt.nodes; ++r) {
+      sim::spawn([](coll::Communicator& c, api::Buffer b, std::uint32_t rank,
+                    std::uint64_t n, Status& out) -> sim::Task<> {
+        out = co_await c.allreduce_sum(rank, b, 0, n);
+      }(comm, bufs[r], r, count, st[r]));
+    }
+    sched.run();
+    elapsed = sched.now() - t0;
+
+    // Every rank must agree bitwise, and the agreed vector must match a
+    // host-side reference sum (different fold order, hence the epsilon).
+    std::vector<double> out0(count);
+    rt.read(bufs[0], 0, std::as_writable_bytes(std::span(out0)));
+    verified = true;
+    for (std::uint32_t r = 1; r < opt.nodes; ++r) {
+      std::vector<double> o(count);
+      rt.read(bufs[r], 0, std::as_writable_bytes(std::span(o)));
+      verified = verified &&
+                 std::memcmp(o.data(), out0.data(), payload) == 0;
+    }
+    double max_err = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      double ref = 0;
+      for (const auto& v : in) ref += v[i];
+      max_err = std::max(max_err, std::fabs(out0[i] - ref));
+    }
+    verified = verified && max_err < 1e-9 * opt.nodes;
+  } else {  // halo
+    const std::uint64_t row = opt.size;
+    if (row > comm.config().pipeline_seg_bytes) {
+      std::fprintf(stderr,
+                   "error: halo row (%llu bytes) must fit one staging slot "
+                   "(<= %llu bytes)\n",
+                   static_cast<unsigned long long>(row),
+                   static_cast<unsigned long long>(
+                       comm.config().pipeline_seg_bytes));
+      return 2;
+    }
+    payload = 2 * row;  // both boundary rows leave every rank
+    // Slab layout: [recv_from_prev][send_to_prev][send_to_next]
+    // [recv_from_next], with recognizable per-rank row patterns.
+    auto row_byte = [](std::uint32_t rank, bool to_next) {
+      return std::byte{
+          static_cast<unsigned char>(0x10 + rank * 2 + (to_next ? 1 : 0))};
+    };
+    std::vector<api::Buffer> bufs(opt.nodes);
+    for (std::uint32_t r = 0; r < opt.nodes; ++r) {
+      bufs[r] = rt.alloc_gpu(r, 0, 4 * row).value();
+      rt.write(bufs[r], 1 * row,
+               std::vector<std::byte>(row, row_byte(r, false)));
+      rt.write(bufs[r], 2 * row,
+               std::vector<std::byte>(row, row_byte(r, true)));
+    }
+    const TimePs t0 = sched.now();
+    for (std::uint32_t r = 0; r < opt.nodes; ++r) {
+      sim::spawn([](coll::Communicator& c, api::Buffer b, std::uint32_t rank,
+                    std::uint64_t rb, Status& out) -> sim::Task<> {
+        out = co_await c.neighbor_exchange(
+            rank, coll::HaloSpec{.buf = b,
+                                 .send_to_next_off = 2 * rb,
+                                 .send_to_prev_off = 1 * rb,
+                                 .recv_from_prev_off = 0,
+                                 .recv_from_next_off = 3 * rb,
+                                 .bytes = rb});
+      }(comm, bufs[r], r, row, st[r]));
+    }
+    sched.run();
+    elapsed = sched.now() - t0;
+
+    verified = true;
+    for (std::uint32_t r = 0; r < opt.nodes; ++r) {
+      const std::uint32_t prev = (r + opt.nodes - 1) % opt.nodes;
+      const std::uint32_t next = (r + 1) % opt.nodes;
+      std::vector<std::byte> got(row);
+      rt.read(bufs[r], 0, got);  // from prev: prev's to_next row
+      verified = verified &&
+                 got == std::vector<std::byte>(row, row_byte(prev, true));
+      rt.read(bufs[r], 3 * row, got);  // from next: next's to_prev row
+      verified = verified &&
+                 got == std::vector<std::byte>(row, row_byte(next, false));
+    }
+  }
+
+  bool all_ok = true;
+  for (std::uint32_t r = 0; r < opt.nodes; ++r) {
+    if (!st[r].is_ok()) {
+      all_ok = false;
+      std::printf("rank %u: %s\n", r, st[r].to_string().c_str());
+    }
+  }
+  const std::uint64_t aggregate = payload * opt.nodes;
+  std::printf("%s: %s/rank in %s  (%s aggregate, %.3f GB/s)  verify: %s\n",
+              opt.workload.c_str(), units::format_size(payload).c_str(),
+              units::format_time(elapsed).c_str(),
+              units::format_size(aggregate).c_str(),
+              units::gbytes_per_second(aggregate, elapsed),
+              verified ? "OK" : "FAILED");
+  const coll::CollMetrics& m = comm.metrics();
+  std::printf("coll: eager_ops=%llu ring_ops=%llu bytes=%llu "
+              "staged_d2h=%llu host_carry=%llu put_retries=%llu\n",
+              static_cast<unsigned long long>(m.eager_ops),
+              static_cast<unsigned long long>(m.ring_ops),
+              static_cast<unsigned long long>(m.bytes),
+              static_cast<unsigned long long>(m.staged_d2h_bytes),
+              static_cast<unsigned long long>(m.host_carry_bytes),
+              static_cast<unsigned long long>(m.put_retries));
+
+  if (!opt.fault_plan.empty()) {
+    fabric::SubCluster& tca = rt.cluster();
+    std::uint64_t dropped = 0, replays = 0;
+    for (std::size_t k = 0; k < tca.cable_count(); ++k) {
+      dropped += tca.cable(k).end_a().dropped_tlps() +
+                 tca.cable(k).end_b().dropped_tlps();
+      replays +=
+          tca.cable(k).end_a().replays() + tca.cable(k).end_b().replays();
+    }
+    std::uint64_t error_irqs = 0;
+    for (std::uint32_t n = 0; n < opt.nodes; ++n) {
+      error_irqs += tca.chip(n).error_interrupts();
+    }
+    std::printf(
+        "recovery: failovers=%llu failbacks=%llu dropped_tlps=%llu "
+        "replays=%llu error_irqs=%llu\n",
+        static_cast<unsigned long long>(tca.failovers()),
+        static_cast<unsigned long long>(tca.failbacks()),
+        static_cast<unsigned long long>(dropped),
+        static_cast<unsigned long long>(replays),
+        static_cast<unsigned long long>(error_irqs));
+  }
+
+  if (opt.stats || !opt.stats_path.empty()) {
+    obs::MetricRegistry reg;
+    comm.export_metrics(reg);
+    if (Trace::instance().enabled()) reg.emit_trace_counters(sched.now());
+    if (!opt.stats_path.empty()) {
+      const Status s = reg.write_json(opt.stats_path);
+      if (!s.is_ok()) {
+        std::fprintf(stderr, "stats: %s\n", s.to_string().c_str());
+        return 1;
+      }
+      std::printf("stats: %zu metrics -> %s\n", reg.size(),
+                  opt.stats_path.c_str());
+    }
+    if (opt.stats) std::printf("\n%s", reg.to_json().c_str());
+  }
+  if (!opt.trace_path.empty()) {
+    const Status s = Trace::instance().write_json(opt.trace_path);
+    if (!s.is_ok()) {
+      std::fprintf(stderr, "trace: %s\n", s.to_string().c_str());
+      return 1;
+    }
+    std::printf("trace: %zu events -> %s (open in chrome://tracing)\n",
+                Trace::instance().event_count(), opt.trace_path.c_str());
+  }
+  if (all_ok && verified) return 0;
+  return opt.fault_plan.empty() ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -149,6 +397,8 @@ int main(int argc, char** argv) {
   if (!opt.trace_path.empty()) Trace::instance().enable();
   // Stats requested: also record latency samples (histograms in the JSON).
   if (opt.stats || !opt.stats_path.empty()) obs::set_sampling_enabled(true);
+
+  if (!opt.workload.empty()) return run_workload(opt);
 
   sim::Scheduler sched;
   fabric::SubCluster tca(
