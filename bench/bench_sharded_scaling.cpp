@@ -1,0 +1,413 @@
+// Sharded-scheduler scaling sweep: wall-clock of the conservative parallel
+// DES core against the seed baseline backend on a ring of N simulated nodes
+// (N >= 64 is the gated point), weak-scaled so each node carries the same
+// event load.
+//
+// The workload mirrors the fabric's shape without the fabric's cost, so the
+// event engine dominates:
+//   * per-node local timers — K self-rescheduling timers per node with
+//     ~40-byte captures that walk a private 4 KiB state block (the
+//     LinkPort/Dmac serializer shape);
+//   * per-node completion timeouts — every local fire disarms and re-arms
+//     the node's watchdog, the fault-domain recovery pattern: timeouts
+//     almost never fire, they churn (the seed backend pays a tombstone-set
+//     insert per disarm, the indexed/sharded queues unlink in place);
+//   * ring tokens — one token per node circling the ring, each hop crossing
+//     to the neighbour's shard with the cable's flight time (= the
+//     conservative lookahead, calib::kConservativeLookaheadPs), exactly the
+//     cross-shard edge the epoch barrier is derived from.
+//
+// Five configurations run per N:
+//   baseline   seed priority_queue backend
+//   indexed    single indexed queue (calendar tier + 4-ary heap)
+//   merge      sharded engine, merge mode (byte-identical global order)
+//   epoch T=1  sharded engine, conservative epochs, one worker — the gated
+//              configuration: per-shard O(1) calendar queues plus
+//              epoch-batched per-node execution (cache locality), no
+//              cross-thread overhead to mask the algorithmic win
+//   epoch T=2  same, two workers — must match T=1 bit for bit
+//
+// Determinism gates:
+//   * baseline / indexed / merge agree on a global order-sensitive hash;
+//   * merge / epoch T=1 / epoch T=2 agree on every per-shard event-order
+//     hash (the per-shard projection is the invariant epochs preserve; the
+//     workload keeps local-event times off the token-arrival time lattice so
+//     the projection is tie-free).
+//
+// Wall-clock gate: at the largest N (>= 64), baseline / epoch-T=1 >= 2x.
+// --json PATH emits the sweep for scripts/bench_perf.sh to merge into
+// BENCH_sim_core.json; --smoke shrinks it for scripts/check.sh.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "calib/calibration.h"
+#include "sim/scheduler.h"
+#include "sim/sharded.h"
+
+namespace tca::bench {
+namespace {
+
+using sim::Scheduler;
+using sim::ShardedEngine;
+using Clock = std::chrono::steady_clock;
+using QueueImpl = Scheduler::QueueImpl;
+
+constexpr TimePs kHopPs = calib::kConservativeLookaheadPs;  // cable flight
+constexpr std::size_t kStateWords = 512;                    // 4 KiB per node
+constexpr int kTimersPerNode = 8;
+constexpr TimePs kTimeoutPs = 5 * 40'000;  // watchdog: re-armed long before it fires
+
+std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Token arrivals land on the multiple-of-5 ps lattice; local timers start at
+/// residue 1..4 and advance by multiples of 5, so a mailbox-drained event
+/// never ties with a locally scheduled one at the same picosecond — merge and
+/// epoch modes then execute every shard's events in the same order.
+TimePs round_up_to_lattice(TimePs t) { return (t + 4) / 5 * 5; }
+
+struct Rig;
+
+struct Pad32 {
+  std::uint64_t a = 0, b = 0, c = 0, d = 0;
+};
+
+struct LocalTimer {
+  Rig* rig;
+  std::uint32_t node;
+  TimePs period;       // multiple of 5
+  std::uint64_t left;  // fires remaining
+};
+
+struct Rig {
+  Scheduler* sched = nullptr;
+  std::uint32_t nodes = 0;
+  std::uint32_t token_hops = 0;
+  bool track_global = false;  // off for multi-thread epoch runs (shared word)
+  std::uint64_t global_hash = 0xcbf29ce484222325ull;
+  std::vector<std::uint64_t> shard_hash;   // one slot per node == shard
+  std::vector<std::uint64_t> state;        // nodes * kStateWords
+  std::vector<LocalTimer> timers;
+  std::vector<Scheduler::EventId> timeout;  // per-node armed watchdog
+
+  /// (Re-)arms node's watchdog at absolute time `at`. Same-shard schedule:
+  /// the id stays valid and cancellable from the node's own events in every
+  /// backend mode. Callers keep `at` off the multiple-of-5 token lattice.
+  void arm_timeout(std::uint32_t node, TimePs at) {
+    timeout[node] = sched->schedule_on(node, at, [this, node, pad = Pad32{}] {
+      (void)pad;
+      touch(node, 0x7400ull + node);  // expired: fires only at drain
+    });
+  }
+
+  void touch(std::uint32_t node, std::uint64_t key) {
+    const TimePs now = sched->now();
+    std::uint64_t* s = state.data() +
+                       static_cast<std::size_t>(node) * kStateWords;
+    std::uint64_t acc = key;
+    const std::size_t base = static_cast<std::size_t>(key * 7) %
+                             (kStateWords - 8);
+    for (std::size_t j = 0; j < 8; ++j) {
+      acc ^= s[base + j];
+      s[base + j] = acc * 0x9E3779B97F4A7C15ull + static_cast<std::uint64_t>(now);
+    }
+    shard_hash[node] = hash_combine(shard_hash[node],
+                                    acc ^ static_cast<std::uint64_t>(now));
+    if (track_global) {
+      global_hash = hash_combine(global_hash,
+                                 acc + (static_cast<std::uint64_t>(node) << 48));
+    }
+  }
+};
+
+void fire_local(LocalTimer* t) {
+  Rig* rig = t->rig;
+  rig->touch(t->node, t->left);
+  // Watchdog churn: disarm and re-arm the node's timeout, the fault-domain
+  // recovery pattern. now ≡ 1..4 (mod 5) here, so the re-armed time stays
+  // off the token-arrival lattice.
+  TCA_ASSERT(rig->sched->cancel(rig->timeout[t->node]));
+  rig->arm_timeout(t->node, rig->sched->now() + kTimeoutPs);
+  if (--t->left == 0) return;
+  // ~40-byte capture: pointer + padding. Inline in EventFn, heap-allocated
+  // by the seed backend's std::function — the realistic simulator shape.
+  t->rig->sched->schedule_on_after(t->node, t->period,
+                                   [t, pad = Pad32{}] {
+                                     (void)pad;
+                                     fire_local(t);
+                                   });
+}
+
+void hop_token(Rig* rig, std::uint32_t node, std::uint32_t hops_left,
+               std::uint32_t token) {
+  rig->touch(node, 0x10000ull + token * 1000ull + hops_left);
+  if (hops_left == 0) return;
+  const std::uint32_t next = node + 1 == rig->nodes ? 0 : node + 1;
+  // The hop crosses the cable: schedule on the *neighbour's* shard at now +
+  // flight time, rounded up onto the arrival lattice. flight >= lookahead,
+  // so in epoch mode this always lands at or past the epoch boundary.
+  const TimePs arrive = round_up_to_lattice(rig->sched->now() + kHopPs);
+  rig->sched->schedule_on(next, arrive, [rig, next, hops_left, token,
+                                         pad = Pad32{}] {
+    (void)pad;
+    hop_token(rig, next, hops_left - 1, token);
+  });
+}
+
+struct RunResult {
+  double wall_s = 0;
+  std::uint64_t processed = 0;
+  std::uint64_t global_hash = 0;
+  std::vector<std::uint64_t> shard_hash;
+};
+
+struct Workload {
+  std::uint32_t nodes;
+  std::uint64_t fires_per_timer;
+  std::uint32_t token_hops;
+};
+
+/// One full simulation of the ring workload on the given scheduler.
+RunResult run_ring(Scheduler& sched, const Workload& w, bool track_global) {
+  Rig rig;
+  rig.sched = &sched;
+  rig.nodes = w.nodes;
+  rig.token_hops = w.token_hops;
+  rig.track_global = track_global;
+  rig.shard_hash.assign(w.nodes, 0xcbf29ce484222325ull);
+  rig.state.assign(static_cast<std::size_t>(w.nodes) * kStateWords, 0);
+  rig.timeout.assign(w.nodes, Scheduler::kInvalidEvent);
+  rig.timers.reserve(static_cast<std::size_t>(w.nodes) * kTimersPerNode);
+  for (std::uint32_t i = 0; i < w.nodes; ++i) {
+    for (int k = 0; k < kTimersPerNode; ++k) {
+      rig.timers.push_back(LocalTimer{
+          &rig, i,
+          5 * (90 + static_cast<TimePs>((i * 13 + k * 7) % 64)),
+          w.fires_per_timer});
+    }
+  }
+
+  const auto t0 = Clock::now();
+  for (std::uint32_t i = 0; i < w.nodes; ++i) {
+    rig.arm_timeout(i, kTimeoutPs + 1 + static_cast<TimePs>(i % 4));
+  }
+  for (std::size_t idx = 0; idx < rig.timers.size(); ++idx) {
+    LocalTimer* t = &rig.timers[idx];
+    const TimePs start = 1 + static_cast<TimePs>((t->node + idx) % 4);
+    sched.schedule_on(t->node, start, [t, pad = Pad32{}] {
+      (void)pad;
+      fire_local(t);
+    });
+  }
+  for (std::uint32_t i = 0; i < w.nodes; ++i) {
+    sched.schedule_on(i, round_up_to_lattice(kHopPs),
+                      [&rig, i, hops = w.token_hops] {
+                        hop_token(&rig, i, hops, i);
+                      });
+  }
+  sched.run();
+  RunResult r;
+  r.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  r.processed = sched.events_processed();
+  r.global_hash = rig.global_hash;
+  r.shard_hash = std::move(rig.shard_hash);
+  TCA_ASSERT(sched.empty());
+  return r;
+}
+
+RunResult run_backend(QueueImpl impl, const Workload& w) {
+  Scheduler sched(impl);
+  return run_ring(sched, w, /*track_global=*/true);
+}
+
+RunResult run_sharded(const Workload& w, unsigned threads) {
+  ShardedEngine::Config cfg;
+  cfg.shards = w.nodes;
+  cfg.lookahead_ps = calib::kConservativeLookaheadPs;
+  cfg.threads = threads;
+  Scheduler sched(cfg);
+  // The global hash is a single shared word — only merge mode (threads == 0,
+  // serial global order) may track it.
+  return run_ring(sched, w, /*track_global=*/threads == 0);
+}
+
+/// Best (minimum) wall clock over `reps` runs; asserts every rerun reproduces
+/// the first run's hashes, so the timing filter doubles as a determinism
+/// check.
+template <typename F>
+RunResult best_wall(int reps, F&& run) {
+  RunResult best = run();
+  for (int r = 1; r < reps; ++r) {
+    RunResult next = run();
+    TCA_ASSERT(next.processed == best.processed &&
+               next.global_hash == best.global_hash &&
+               next.shard_hash == best.shard_hash);
+    best.wall_s = std::min(best.wall_s, next.wall_s);
+  }
+  return best;
+}
+
+struct SweepRow {
+  std::uint32_t nodes = 0;
+  double baseline_s = 0, indexed_s = 0, merge_s = 0, epoch1_s = 0,
+         epoch2_s = 0;
+  std::uint64_t events = 0;
+  bool order_equivalent = false;   // baseline == indexed == merge (global)
+  bool thread_invariant = false;   // merge == epoch1 == epoch2 (per shard)
+  [[nodiscard]] double speedup() const {
+    return epoch1_s > 0 ? baseline_s / epoch1_s : 0;
+  }
+  [[nodiscard]] double merge_speedup() const {
+    return merge_s > 0 ? baseline_s / merge_s : 0;
+  }
+};
+
+SweepRow sweep_point(const Workload& w, int reps) {
+  SweepRow row;
+  row.nodes = w.nodes;
+  const RunResult base =
+      best_wall(reps, [&] { return run_backend(QueueImpl::kBaseline, w); });
+  const RunResult idx =
+      best_wall(1, [&] { return run_backend(QueueImpl::kIndexed, w); });
+  const RunResult merge = best_wall(1, [&] { return run_sharded(w, 0); });
+  const RunResult epoch1 =
+      best_wall(reps, [&] { return run_sharded(w, 1); });
+  const RunResult epoch2 = best_wall(1, [&] { return run_sharded(w, 2); });
+
+  row.baseline_s = base.wall_s;
+  row.indexed_s = idx.wall_s;
+  row.merge_s = merge.wall_s;
+  row.epoch1_s = epoch1.wall_s;
+  row.epoch2_s = epoch2.wall_s;
+  row.events = base.processed;
+  row.order_equivalent = base.processed == idx.processed &&
+                         base.processed == merge.processed &&
+                         base.global_hash == idx.global_hash &&
+                         base.global_hash == merge.global_hash &&
+                         base.shard_hash == idx.shard_hash &&
+                         base.shard_hash == merge.shard_hash;
+  row.thread_invariant = merge.processed == epoch1.processed &&
+                         merge.processed == epoch2.processed &&
+                         merge.shard_hash == epoch1.shard_hash &&
+                         merge.shard_hash == epoch2.shard_hash;
+  return row;
+}
+
+int run(bool smoke, const std::string& json_path) {
+  const std::vector<std::uint32_t> nodes =
+      smoke ? std::vector<std::uint32_t>{16, 64}
+            : std::vector<std::uint32_t>{16, 64, 128, 256};
+  const std::uint64_t fires = smoke ? 150 : 2000;
+  const std::uint32_t hops = smoke ? 10 : 60;
+  const int reps = smoke ? 1 : 2;
+  const double min_speedup = smoke ? 1.1 : 2.0;
+
+  print_section("Sharded DES core: ring sweep wall clock (weak scaling)");
+
+  std::vector<SweepRow> rows;
+  for (std::uint32_t n : nodes) {
+    rows.push_back(sweep_point(Workload{n, fires, hops}, reps));
+  }
+
+  TablePrinter table({"nodes", "events", "baseline (s)", "indexed (s)",
+                      "merge (s)", "epoch T=1 (s)", "epoch T=2 (s)",
+                      "speedup", "merge speedup"});
+  for (const SweepRow& r : rows) {
+    table.add_row({std::to_string(r.nodes), std::to_string(r.events),
+                   TablePrinter::cell(r.baseline_s, 3),
+                   TablePrinter::cell(r.indexed_s, 3),
+                   TablePrinter::cell(r.merge_s, 3),
+                   TablePrinter::cell(r.epoch1_s, 3),
+                   TablePrinter::cell(r.epoch2_s, 3),
+                   TablePrinter::cell(r.speedup()),
+                   TablePrinter::cell(r.merge_speedup())});
+  }
+  table.print();
+
+  ShapeCheck check;
+  char buf[200];
+  const SweepRow& gate = rows.back();
+  std::snprintf(buf, sizeof buf,
+                "sharded epoch backend %.2fx >= %.1fx over seed baseline at "
+                "%u nodes (wall clock)",
+                gate.speedup(), min_speedup, gate.nodes);
+  check.expect(gate.speedup() >= min_speedup, buf);
+  check.expect(gate.nodes >= 64, "gated sweep point covers >= 64 nodes");
+  for (const SweepRow& r : rows) {
+    std::snprintf(buf, sizeof buf,
+                  "%u nodes: baseline/indexed/merge global event order "
+                  "identical",
+                  r.nodes);
+    check.expect(r.order_equivalent, buf);
+    std::snprintf(buf, sizeof buf,
+                  "%u nodes: per-shard event order invariant across merge "
+                  "and epoch T=1/T=2",
+                  r.nodes);
+    check.expect(r.thread_invariant, buf);
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    check.expect(f != nullptr, "write " + json_path);
+    if (f == nullptr) return check.finish(), 1;
+    std::fprintf(f, "{\n  \"bench\": \"sharded_scaling\",\n");
+    std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+    std::fprintf(f, "  \"sharded_scaling\": {\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const SweepRow& r = rows[i];
+      std::fprintf(f,
+                   "    \"ring_%u\": {\"events\": %llu, "
+                   "\"baseline_wall_s\": %.4f, \"indexed_wall_s\": %.4f, "
+                   "\"merge_wall_s\": %.4f, \"epoch1_wall_s\": %.4f, "
+                   "\"epoch2_wall_s\": %.4f, \"speedup\": %.3f, "
+                   "\"merge_speedup\": %.3f}%s\n",
+                   r.nodes, static_cast<unsigned long long>(r.events),
+                   r.baseline_s, r.indexed_s, r.merge_s, r.epoch1_s,
+                   r.epoch2_s, r.speedup(), r.merge_speedup(),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"sharded_scaling_speedup\": %.3f,\n", gate.speedup());
+    std::fprintf(f, "  \"sharded_scaling_nodes\": %u,\n", gate.nodes);
+    const bool all_ok =
+        std::all_of(rows.begin(), rows.end(), [](const SweepRow& r) {
+          return r.order_equivalent && r.thread_invariant;
+        });
+    std::fprintf(f, "  \"sharded_scaling_deterministic\": %s\n",
+                 all_ok ? "true" : "false");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+
+  return check.finish();
+}
+
+}  // namespace
+}  // namespace tca::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  return tca::bench::run(smoke, json_path);
+}

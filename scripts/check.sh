@@ -4,6 +4,8 @@
 # a clang-tidy baseline diff (skipped when clang-tidy is not installed),
 # full test suite (soak label excluded — run `ctest -L soak` for the long
 # fault campaigns), a sanitizer pass over the fault and collective suites,
+# a TSan pass over the sharded-scheduler suite (epoch-mode worker threads;
+# skipped when the toolchain or kernel can't run TSan binaries),
 # a ~1 s bench_sim_core smoke run (scheduler speedup tripwire + allocation,
 # determinism and backend-equivalence checks), collective bench smoke runs,
 # and tca_explore smoke invocations (--stats and --workload).
@@ -34,6 +36,26 @@ cmake -B "$SAN_BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 cmake --build "$SAN_BUILD" -j --target fault_test fault_recovery_test coll_test
 ctest --test-dir "$SAN_BUILD" --output-on-failure -j "$(nproc)" -LE soak \
   -R '^(Fault|Nios|DmacErrors|GpuFaults|FaultPlan|LinkDown|ErrorRegisters|Recovery|Determinism|Coll)\.'
+
+echo "== sharded scheduler suite under TSan (skips when unsupported) =="
+# Epoch mode runs shard workers on real threads; TSan is the gate that the
+# barrier/mailbox protocol stays race-free. Probe first: some toolchains
+# and kernels (ASLR vs tsan shadow ranges) can't run TSan binaries at all —
+# skip gracefully there, like the clang-tidy stage.
+TSAN_BUILD=build-check-tsan
+mkdir -p "$TSAN_BUILD"
+printf 'int main() { return 0; }\n' > "$TSAN_BUILD/tsan_probe.cpp"
+if c++ -fsanitize=thread "$TSAN_BUILD/tsan_probe.cpp" \
+     -o "$TSAN_BUILD/tsan_probe" 2> /dev/null \
+   && "$TSAN_BUILD/tsan_probe" 2> /dev/null; then
+  cmake -B "$TSAN_BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTCA_SANITIZE=thread > /dev/null
+  cmake --build "$TSAN_BUILD" -j --target scheduler_stress_test
+  ctest --test-dir "$TSAN_BUILD" --output-on-failure -j "$(nproc)" \
+    -R '^SchedulerStress\.'
+else
+  echo "TSan probe failed to build or run; skipping the TSan stage"
+fi
 
 echo "== bench_sim_core smoke =="
 "$BUILD"/bench/bench_sim_core --smoke

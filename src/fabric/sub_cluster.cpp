@@ -14,6 +14,16 @@ using peach2::TcaLayout;
 
 namespace {
 
+/// Shard affinity for the sharded scheduler backend: one shard per node,
+/// folded onto the configured shard count. Every cross-node event then
+/// crosses a cable (latency >= calib::kConservativeLookaheadPs), which is
+/// the invariant the conservative lookahead window relies on. No-op (all
+/// zero) on non-sharded backends.
+std::uint32_t node_shard(sim::Scheduler& sched, std::uint32_t node) {
+  const sim::ShardedEngine* engine = sched.sharded();
+  return engine != nullptr ? node % engine->shard_count() : 0;
+}
+
 pcie::LinkConfig cable_config(std::uint32_t from, std::uint32_t to,
                               double bit_error_rate) {
   // PCIe external cable between boards: Gen2 x8 with repeater/propagation
@@ -56,10 +66,11 @@ SubCluster::SubCluster(sim::Scheduler& sched, const SubClusterConfig& config)
         .local_host_base = node::layout::kHostBase,
     };
     auto& chip = chips_.emplace_back(std::make_unique<Peach2Chip>(sched, pcfg));
-    chip->attach_port(PortId::kNorth,
-                      n->attach_peach2_slot(pcfg.device_id,
-                                            node::layout::kPeach2RegBase,
-                                            /*claim_tca_window=*/true));
+    pcie::LinkPort& slot = n->attach_peach2_slot(
+        pcfg.device_id, node::layout::kPeach2RegBase,
+        /*claim_tca_window=*/true);
+    slot.set_shard(node_shard(sched, i));  // node-internal: same shard
+    chip->attach_port(PortId::kNorth, slot);
     drivers_.emplace_back(
         std::make_unique<driver::Peach2Driver>(*n, *chip));
   }
@@ -78,6 +89,8 @@ SubCluster::SubCluster(sim::Scheduler& sched, const SubClusterConfig& config)
       auto& cable = cables_.emplace_back(std::make_unique<pcie::PcieLink>(
           sched, cable_config(i, i + half, cfg_.cable_bit_error_rate)));
       cable_ends_.emplace_back(i, i + half);
+      cable->end_a().set_shard(node_shard(sched, i));
+      cable->end_b().set_shard(node_shard(sched, i + half));
       chips_[i]->attach_port(PortId::kSouth, cable->end_a());
       chips_[i + half]->attach_port(PortId::kSouth, cable->end_b());
     }
@@ -244,6 +257,8 @@ void SubCluster::wire_ring(sim::Scheduler& sched, std::uint32_t first,
     auto& cable = cables_.emplace_back(
         std::make_unique<pcie::PcieLink>(sched, cable_config(i, j, cfg_.cable_bit_error_rate)));
     cable_ends_.emplace_back(i, j);
+    cable->end_a().set_shard(node_shard(sched, i));
+    cable->end_b().set_shard(node_shard(sched, j));
     chips_[i]->attach_port(PortId::kEast, cable->end_a());
     chips_[j]->attach_port(PortId::kWest, cable->end_b());
   }

@@ -17,6 +17,7 @@
 // Move-only (so move-only captures work), nothrow-movable, empty-testable.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -25,6 +26,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "sim/arena.h"
 
 namespace tca::sim {
 
@@ -83,9 +85,10 @@ class EventFn {
 
   /// Process-wide count of heap-fallback constructions. Steady-state
   /// scheduler traffic must not advance it (asserted by tests and
-  /// bench_sim_core).
+  /// bench_sim_core). Atomic: parallel shard executors may take the
+  /// fallback concurrently.
   static std::uint64_t heap_constructions() noexcept {
-    return heap_constructions_;
+    return heap_constructions_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -106,16 +109,31 @@ class EventFn {
            std::is_nothrow_move_constructible_v<D>;
   }
 
+  /// Over-aligned callables can't use the arena path (arena blocks are
+  /// max_align_t-aligned); they fall back to plain aligned new/delete.
+  template <typename D>
+  static constexpr bool arena_eligible() {
+    return alignof(D) <= alignof(std::max_align_t);
+  }
+
   template <typename F, typename D = std::decay_t<F>>
   void construct(F&& f) {
     if constexpr (fits_inline<D>()) {
       ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
       vt_ = &kVTable<D, true>;
     } else {
-      *static_cast<void**>(static_cast<void*>(storage_)) =
-          new D(std::forward<F>(f));
+      // Oversized capture: the fallback allocation recycles through the
+      // executing shard's FrameArena when one is active (global heap
+      // otherwise — setup code, over-aligned captures).
+      void* p;
+      if constexpr (arena_eligible<D>()) {
+        p = ::new (arena_alloc(sizeof(D))) D(std::forward<F>(f));
+      } else {
+        p = new D(std::forward<F>(f));
+      }
+      *static_cast<void**>(static_cast<void*>(storage_)) = p;
       vt_ = &kVTable<D, false>;
-      ++heap_constructions_;
+      heap_constructions_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
@@ -141,6 +159,10 @@ class EventFn {
     static void destroy(EventFn& e) noexcept {
       if constexpr (kInline) {
         get(e)->~D();
+      } else if constexpr (arena_eligible<D>()) {
+        D* p = get(e);
+        p->~D();
+        arena_free(p, sizeof(D));  // routes to the owning arena via header
       } else {
         delete get(e);
       }
@@ -174,7 +196,7 @@ class EventFn {
     }
   }
 
-  inline static std::uint64_t heap_constructions_ = 0;
+  inline static std::atomic<std::uint64_t> heap_constructions_{0};
 
   alignas(std::max_align_t) std::byte storage_[kInlineBytes];
   const VTable* vt_ = nullptr;

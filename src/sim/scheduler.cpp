@@ -6,16 +6,30 @@
 namespace tca::sim {
 
 Scheduler::QueueImpl Scheduler::default_impl() {
-  static const bool baseline = [] {
+  static const QueueImpl impl = [] {
     const char* v = std::getenv("TCA_SCHED_BASELINE");
-    return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+    if (v == nullptr || v[0] == '\0' || (v[0] == '0' && v[1] == '\0')) {
+      return QueueImpl::kIndexed;
+    }
+    if (v[0] == '2' && v[1] == '\0') return QueueImpl::kSharded;
+    return QueueImpl::kBaseline;
   }();
-  return baseline ? QueueImpl::kBaseline : QueueImpl::kIndexed;
+  return impl;
 }
 
 void Scheduler::run_until(TimePs t) {
+  if (impl_ == QueueImpl::kSharded) {
+    sharded_->run_until(t);
+    return;
+  }
   TCA_ASSERT(t >= now_);
-  while (run_one(t)) {
+  if (impl_ == QueueImpl::kIndexed) {
+    ArenaScope scope(&arena_);
+    while (fire_next_indexed(t)) {
+    }
+  } else {
+    while (run_one(t)) {
+    }
   }
   now_ = t;
   Log::set_now(now_);

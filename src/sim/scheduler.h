@@ -1,35 +1,40 @@
 // Discrete-event scheduler.
 //
-// Single-threaded, deterministic: events fire in (time, insertion-order)
-// order, so two runs with the same inputs produce identical traces. All
-// coroutine resumptions in the simulator are routed through this queue, which
-// keeps call stacks shallow and event ordering well-defined even when a
-// component fires a trigger from inside another component's callback.
+// Deterministic: events fire in (time, insertion-order) order, so two runs
+// with the same inputs produce identical traces. All coroutine resumptions
+// in the simulator are routed through this queue, which keeps call stacks
+// shallow and event ordering well-defined even when a component fires a
+// trigger from inside another component's callback.
 //
-// Two queue backends share the public API and the ordering contract:
+// Three queue backends share the public API and the ordering contract:
 //
-//  * kIndexed (default, the production engine): callables live in a slot
-//    pool as allocation-free sim::EventFn; a 4-ary min-heap of small
-//    (time, seq, slot, gen) entries orders them. Slots carry a generation
-//    counter with odd = pending, even = free: cancel() checks the id's
-//    generation, destroys the capture and releases the slot immediately —
-//    O(1), no tombstone set — and the stale heap entry is dropped when it
-//    surfaces (its generation no longer matches) or when stale entries
-//    outnumber live ones and the heap is compacted in place. Sifts move
-//    24-byte entries hole-style (no swaps, callables never move during
-//    ordering), pops do an array index instead of a hash lookup, and the
-//    clock/log timestamp is updated once per distinct timestamp instead of
-//    once per event.
+//  * kIndexed (default): the two-tier IndexedQueue — a near-now calendar
+//    ring fronting a 4-ary min-heap — over a slot pool of allocation-free
+//    sim::EventFn (see indexed_queue.h for the full design). Event fires
+//    run under the scheduler's FrameArena, so coroutine frames spawned
+//    inside events recycle through pooled memory instead of the global
+//    heap (see arena.h).
+//  * kSharded: per-shard IndexedQueues + per-shard arenas behind a
+//    ShardedEngine (see sharded.h). Merge mode (the default, what
+//    TCA_SCHED_BASELINE=2 selects) executes the exact global (time, seq)
+//    order of kIndexed single-threaded — byte-identical traces — with
+//    per-shard locality; epoch mode (threads >= 1, explicit Config) runs
+//    conservative lookahead windows in parallel for shard-confined
+//    workloads. schedule_on()/schedule_on_after() tag events with a shard
+//    (ignored by the other backends), and untagged schedules inherit the
+//    currently executing shard.
 //  * kBaseline: the seed design — std::priority_queue of (time, id,
-//    std::function) plus an unordered_set of cancelled-id tombstones checked
-//    on every pop. Kept as the A/B reference for bench_sim_core and
-//    selectable via TCA_SCHED_BASELINE=1 so any workload can be replayed on
-//    both backends; simulated results are identical by construction.
+//    std::function) plus an unordered_set of cancelled-id tombstones
+//    checked on every pop. Kept as the A/B reference for bench_sim_core
+//    and selectable via TCA_SCHED_BASELINE=1 so any workload can be
+//    replayed on all backends; simulated results are identical by
+//    construction.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <queue>
 #include <unordered_set>
 #include <vector>
@@ -37,7 +42,10 @@
 #include "common/error.h"
 #include "common/log.h"
 #include "common/units.h"
+#include "sim/arena.h"
 #include "sim/event_fn.h"
+#include "sim/indexed_queue.h"
+#include "sim/sharded.h"
 
 namespace tca::sim {
 
@@ -48,26 +56,48 @@ class Scheduler {
 
   /// Queue backend (see file comment). kBaseline exists for A/B performance
   /// comparison and regression hunting, not production use.
-  enum class QueueImpl { kIndexed, kBaseline };
+  enum class QueueImpl { kIndexed, kBaseline, kSharded };
 
-  explicit Scheduler(QueueImpl impl = default_impl()) : impl_(impl) {}
+  explicit Scheduler(QueueImpl impl = default_impl()) : impl_(impl) {
+    if (impl_ == QueueImpl::kSharded) {
+      sharded_ = std::make_unique<ShardedEngine>(ShardedEngine::env_config());
+    }
+  }
+
+  /// Sharded backend with an explicit configuration (shard count, lookahead
+  /// window, worker threads). The env-driven constructor above always picks
+  /// merge mode; parallel epoch execution is opt-in through here.
+  explicit Scheduler(const ShardedEngine::Config& cfg)
+      : impl_(QueueImpl::kSharded),
+        sharded_(std::make_unique<ShardedEngine>(cfg)) {}
+
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
-  /// kIndexed unless the TCA_SCHED_BASELINE environment variable is set to a
-  /// non-empty value other than "0" (read once per process).
+  /// kIndexed unless the TCA_SCHED_BASELINE environment variable says
+  /// otherwise: "1" (or any other non-empty value but "0" and "2") selects
+  /// kBaseline, "2" selects kSharded merge mode. Read once per process.
   static QueueImpl default_impl();
 
   [[nodiscard]] QueueImpl impl() const { return impl_; }
 
-  /// Current simulated time.
-  [[nodiscard]] TimePs now() const { return now_; }
+  /// Current simulated time. Inside an epoch-mode event this is the
+  /// executing shard's local clock — exactly what relative delays must be
+  /// measured against.
+  [[nodiscard]] TimePs now() const {
+    return impl_ == QueueImpl::kSharded ? sharded_->now() : now_;
+  }
 
   /// Schedules `fn` at absolute time `t` (must be >= now). Returns an id
   /// usable with cancel(). Captures up to EventFn::kInlineBytes are stored
-  /// without heap allocation, constructed directly in their slot.
+  /// without heap allocation, constructed directly in their slot. On the
+  /// sharded backend the event lands on the currently executing shard.
   template <typename F>
   EventId schedule_at(TimePs t, F&& fn) {
+    if (impl_ == QueueImpl::kSharded) {
+      return sharded_->schedule(sharded_->current_shard(), t,
+                                std::forward<F>(fn));
+    }
     if (impl_ == QueueImpl::kBaseline) {
       if constexpr (std::is_copy_constructible_v<std::decay_t<F>>) {
         return schedule_baseline(t, std::function<void()>(std::forward<F>(fn)));
@@ -76,53 +106,49 @@ class Scheduler {
       }
     }
     TCA_ASSERT(t >= now_);
-    std::uint32_t index;
-    if (free_head_ != kNilSlot) {
-      index = free_head_;
-      free_head_ = slots_[index].next_free;
-    } else {
-      index = static_cast<std::uint32_t>(slots_.size());
-      slots_.emplace_back();
-    }
-    Slot& s = slots_[index];
-    ++s.gen;  // even (free) -> odd (pending)
-    s.fn.emplace(std::forward<F>(fn));
-    heap_.push_back(HeapEntry{t, seq_++, index, s.gen});
-    heap_sift_up(heap_.size() - 1);
-    ++live_;
+    const IndexedQueue::Ref ref =
+        queue_.schedule(t, now_, seq_++, std::forward<F>(fn));
     // Slot index + 1 keeps 0 == kInvalidEvent; the generation stamp makes ids
     // from recycled slots distinguishable so cancel-after-fire reports false.
-    return (static_cast<EventId>(s.gen) << 32) | (index + 1u);
+    return (static_cast<EventId>(ref.gen) << 32) | (ref.index + 1u);
   }
 
   /// Schedules `fn` after a relative delay (>= 0).
   template <typename F>
   EventId schedule_after(TimePs delay, F&& fn) {
     TCA_ASSERT(delay >= 0);
-    return schedule_at(now_ + delay, std::forward<F>(fn));
+    return schedule_at(now() + delay, std::forward<F>(fn));
+  }
+
+  /// Schedules `fn` at absolute time `t` on `shard` (sharded backend; the
+  /// tag is ignored elsewhere, so components may tag unconditionally).
+  /// Fabric code tags link-crossing events with the destination endpoint's
+  /// shard — that affinity is what partitions the event space for the
+  /// parallel backend.
+  template <typename F>
+  EventId schedule_on(std::uint32_t shard, TimePs t, F&& fn) {
+    if (impl_ == QueueImpl::kSharded) {
+      return sharded_->schedule(shard, t, std::forward<F>(fn));
+    }
+    return schedule_at(t, std::forward<F>(fn));
+  }
+
+  template <typename F>
+  EventId schedule_on_after(std::uint32_t shard, TimePs delay, F&& fn) {
+    TCA_ASSERT(delay >= 0);
+    return schedule_on(shard, now() + delay, std::forward<F>(fn));
   }
 
   /// Cancels a pending event. Returns false if it already ran, was already
-  /// cancelled, or the id is unknown. O(1) on the indexed backend.
+  /// cancelled, or the id is unknown. O(1) on the indexed and sharded
+  /// backends.
   bool cancel(EventId id) {
+    if (impl_ == QueueImpl::kSharded) return sharded_->cancel(id);
     if (impl_ == QueueImpl::kBaseline) return cancel_baseline(id);
     const std::uint64_t lo = id & 0xffffffffu;
     if (lo == 0) return false;
-    const auto index = static_cast<std::uint32_t>(lo - 1);
-    if (index >= slots_.size()) return false;
-    Slot& s = slots_[index];
-    // Only the one outstanding pending id carries the slot's current (odd)
-    // generation; fired/cancelled ids went stale when the slot was released.
-    if (s.gen != static_cast<std::uint32_t>(id >> 32)) return false;
-    s.fn = EventFn();  // free captured resources eagerly
-    release_slot(index);
-    --live_;
-    // Cancellation leaves a stale entry in the heap. When stale entries
-    // outnumber live ones, sweep and re-heapify — amortized O(1) per cancel
-    // — so cancel-heavy phases keep the heap shallow instead of dragging
-    // tombstones until their timestamps pass (the baseline's behavior).
-    if (heap_.size() > 2 * live_ && heap_.size() >= kCompactMin) compact();
-    return true;
+    return queue_.cancel(IndexedQueue::Ref{
+        static_cast<std::uint32_t>(lo - 1), static_cast<std::uint32_t>(id >> 32)});
   }
 
   /// Runs the earliest pending event. Returns false if the queue is empty.
@@ -130,6 +156,18 @@ class Scheduler {
 
   /// Runs events until the queue is empty.
   void run() {
+    if (impl_ == QueueImpl::kSharded) {
+      sharded_->run();
+      return;
+    }
+    if (impl_ == QueueImpl::kIndexed) {
+      // One arena scope spans the whole drain: two thread-local writes
+      // total instead of two per event (step() keeps the per-event scope).
+      ArenaScope scope(&arena_);
+      while (fire_next_indexed(kNoLimit)) {
+      }
+      return;
+    }
     while (run_one(kNoLimit)) {
     }
   }
@@ -138,135 +176,60 @@ class Scheduler {
   void run_until(TimePs t);
 
   /// Runs all events within the next `duration` of simulated time.
-  void run_for(TimePs duration) { run_until(now_ + duration); }
+  void run_for(TimePs duration) { run_until(now() + duration); }
 
   [[nodiscard]] bool empty() const {
-    return impl_ == QueueImpl::kBaseline
-               ? b_queue_.size() == b_cancelled_.size()
-               : live_ == 0;
+    switch (impl_) {
+      case QueueImpl::kSharded:
+        return sharded_->empty();
+      case QueueImpl::kBaseline:
+        return b_queue_.size() == b_cancelled_.size();
+      case QueueImpl::kIndexed:
+        break;
+    }
+    return queue_.empty();
   }
-  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+  [[nodiscard]] std::uint64_t events_processed() const {
+    return impl_ == QueueImpl::kSharded ? sharded_->processed() : processed_;
+  }
+
+  /// The sharded engine, when active (tests/bench introspection: shard
+  /// count, per-shard arenas and queues). Null on other backends.
+  [[nodiscard]] ShardedEngine* sharded() { return sharded_.get(); }
+
+  /// The indexed backend's frame arena (coroutine frames and EventFn heap
+  /// fallbacks allocated during event execution recycle through it).
+  [[nodiscard]] FrameArena& arena() { return arena_; }
 
  private:
   static constexpr TimePs kNoLimit = std::numeric_limits<TimePs>::max();
-  static constexpr std::uint32_t kNilSlot = 0xffffffffu;
-  /// Heap size below which cancel() never bothers compacting.
-  static constexpr std::size_t kCompactMin = 64;
 
-  // --- Indexed backend -----------------------------------------------------
-
-  /// `gen` parity tracks state: odd = pending, even = free. Every release
-  /// (fire or cancel) bumps it, so stale ids and stale heap entries are
-  /// recognized by a single compare.
-  struct Slot {
+  /// Indexed drain step: fires the earliest live event iff its time <=
+  /// `limit`. Same-timestamp events drain under one clock update; the Log
+  /// timestamp only moves when simulated time does. The caller must hold
+  /// an ArenaScope on the scheduler's arena (run()/run_until() hoist one
+  /// scope around their drain loops; run_one_indexed opens a per-event
+  /// one for step()).
+  bool fire_next_indexed(TimePs limit) {
+    IndexedQueue::Key k;
+    if (!queue_.peek(now_, &k)) return false;
+    if (k.time > limit) return false;
+    TCA_ASSERT(k.time >= now_);
     EventFn fn;
-    std::uint32_t gen = 0;
-    std::uint32_t next_free = kNilSlot;
-  };
-
-  /// Heap entries stay small (24 bytes) so sifts move no callable state; the
-  /// EventFn lives in the slot until fire/cancel. `seq` is a global insertion
-  /// counter giving FIFO order among equal timestamps.
-  struct HeapEntry {
-    TimePs time;
-    std::uint64_t seq;
-    std::uint32_t slot;
-    std::uint32_t gen;
-  };
-
-  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
-    return a.time < b.time || (a.time == b.time && a.seq < b.seq);
+    queue_.pop_min(&fn);
+    if (k.time != now_) {
+      now_ = k.time;
+      Log::set_now(now_);
+    }
+    ++processed_;
+    fn();
+    return true;
   }
 
-  /// The one drain loop of the indexed backend: drops stale heads, then
-  /// fires the earliest live event iff its time <= `limit`.
   bool run_one_indexed(TimePs limit) {
-    while (!heap_.empty()) {
-      const HeapEntry top = heap_.front();
-      Slot& s = slots_[top.slot];
-      if (s.gen != top.gen) {  // cancelled; slot already released
-        pop_root();
-        continue;
-      }
-      if (top.time > limit) return false;
-      TCA_ASSERT(top.time >= now_);
-      EventFn fn = std::move(s.fn);
-      pop_root();
-      release_slot(top.slot);
-      // Same-timestamp events drain under one clock update; the Log
-      // timestamp only moves when simulated time does.
-      if (top.time != now_) {
-        now_ = top.time;
-        Log::set_now(now_);
-      }
-      ++processed_;
-      --live_;
-      fn();
-      return true;
-    }
-    return false;
-  }
-
-  void release_slot(std::uint32_t index) {
-    Slot& s = slots_[index];
-    ++s.gen;  // odd (pending) -> even (free)
-    s.next_free = free_head_;
-    free_head_ = index;
-  }
-
-  /// Removes heap_[0], refilling the hole with the last entry sifted down.
-  void pop_root() {
-    const HeapEntry last = heap_.back();
-    heap_.pop_back();
-    if (!heap_.empty()) heap_sift_down(0, last);
-  }
-
-  /// Drops stale entries (generation mismatch) and rebuilds the heap in
-  /// place. Fire order is untouched: pops follow the (time, seq) total
-  /// order, not the array layout.
-  void compact() {
-    std::size_t out = 0;
-    for (const HeapEntry& e : heap_) {
-      if (slots_[e.slot].gen == e.gen) heap_[out++] = e;
-    }
-    heap_.resize(out);
-    // Internal nodes of the 4-ary heap are 0..(out-2)/4, so (out+2)/4 of
-    // them need sifting; out/4 would skip the last one when out % 4 is
-    // 2 or 3, leaving a heap-order violation that later pops would surface
-    // as time running backwards.
-    for (std::size_t i = (out + 2) / 4; i-- > 0;) heap_sift_down(i, heap_[i]);
-  }
-
-  /// Hole-style sifts: the displaced entry rides in a register while holes
-  /// shift, one 24-byte move per level instead of a swap.
-  void heap_sift_up(std::size_t i) {
-    HeapEntry* h = heap_.data();
-    const HeapEntry e = h[i];
-    while (i != 0) {
-      const std::size_t parent = (i - 1) / 4;
-      if (!earlier(e, h[parent])) break;
-      h[i] = h[parent];
-      i = parent;
-    }
-    h[i] = e;
-  }
-
-  void heap_sift_down(std::size_t i, HeapEntry e) {
-    HeapEntry* h = heap_.data();
-    const std::size_t n = heap_.size();
-    for (;;) {
-      const std::size_t first_child = 4 * i + 1;
-      if (first_child >= n) break;
-      std::size_t best = first_child;
-      const std::size_t last_child = std::min(first_child + 4, n);
-      for (std::size_t c = first_child + 1; c < last_child; ++c) {
-        if (earlier(h[c], h[best])) best = c;
-      }
-      if (!earlier(h[best], e)) break;
-      h[i] = h[best];
-      i = best;
-    }
-    h[i] = e;
+    ArenaScope scope(&arena_);
+    return fire_next_indexed(limit);
   }
 
   // --- Baseline (seed) backend ---------------------------------------------
@@ -292,20 +255,30 @@ class Scheduler {
   /// The one drain loop: skips cancelled heads, then fires the earliest
   /// event iff its time <= `limit`. Returns false when nothing fired.
   bool run_one(TimePs limit) {
-    return impl_ == QueueImpl::kBaseline ? run_one_baseline(limit)
-                                         : run_one_indexed(limit);
+    switch (impl_) {
+      case QueueImpl::kSharded:
+        return sharded_->run_one(limit);
+      case QueueImpl::kBaseline:
+        return run_one_baseline(limit);
+      case QueueImpl::kIndexed:
+        break;
+    }
+    return run_one_indexed(limit);
   }
 
   QueueImpl impl_;
   TimePs now_ = 0;
   std::uint64_t processed_ = 0;
 
-  // Indexed backend state.
-  std::vector<Slot> slots_;
-  std::vector<HeapEntry> heap_;
-  std::uint32_t free_head_ = kNilSlot;
+  // Indexed backend state. The arena is declared before the queue so
+  // pending EventFns (whose heap-fallback captures may live in the arena)
+  // are destroyed while the arena is still alive.
+  FrameArena arena_;
+  IndexedQueue queue_;
   std::uint64_t seq_ = 0;
-  std::uint64_t live_ = 0;  // pending minus cancelled
+
+  // Sharded backend.
+  std::unique_ptr<ShardedEngine> sharded_;
 
   // Baseline backend state.
   EventId b_next_id_ = 1;

@@ -1,0 +1,245 @@
+#include "sim/sharded.h"
+
+#include <barrier>
+#include <cstdlib>
+#include <thread>
+
+#include "common/trace.h"
+
+namespace tca::sim {
+
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  return end != nullptr && *end == '\0' ? parsed : fallback;
+}
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(const Config& cfg) : cfg_(cfg) {
+  TCA_ASSERT(cfg_.shards >= 1 && cfg_.shards <= kMaxShards);
+  TCA_ASSERT(cfg_.lookahead_ps > 0);
+  shards_.reserve(cfg_.shards);
+  for (std::uint32_t s = 0; s < cfg_.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(cfg_));
+  }
+  mail_.resize(static_cast<std::size_t>(cfg_.shards) * cfg_.shards);
+}
+
+ShardedEngine::~ShardedEngine() = default;
+
+ShardedEngine::Config ShardedEngine::env_config() {
+  Config cfg;
+  cfg.shards = static_cast<std::uint32_t>(
+      std::clamp<std::uint64_t>(env_u64("TCA_SCHED_SHARDS", 16), 1, kMaxShards));
+  cfg.lookahead_ps = static_cast<TimePs>(
+      env_u64("TCA_SCHED_LOOKAHEAD_PS", 25'000));
+  cfg.threads =
+      static_cast<unsigned>(std::min<std::uint64_t>(
+          env_u64("TCA_SCHED_THREADS", 0), 64));
+  return cfg;
+}
+
+bool ShardedEngine::cancel(std::uint64_t id) {
+  const std::uint64_t lo = id & 0xffffffu;
+  if (lo == 0) return false;
+  const auto shard = static_cast<std::uint32_t>((id >> 24) & 0xffu);
+  if (shard >= shards_.size()) return false;
+  if (parallel()) {
+    // During the parallel window only the owning shard's executor may touch
+    // the shard queue; outside the window (setup, between runs) anything
+    // goes — the engine is quiescent.
+    const detail::ShardExec& ex = detail::t_shard_exec;
+    TCA_ASSERT(ex.engine != this || ex.shard == shard);
+  }
+  const IndexedQueue::Ref ref{static_cast<std::uint32_t>(lo - 1),
+                              static_cast<std::uint32_t>(id >> 32)};
+  const bool ok = shards_[shard]->q.cancel(ref);
+  if (ok && !parallel()) refresh_head(shard);
+  return ok;
+}
+
+void ShardedEngine::refresh_head(std::uint32_t shard) {
+  Shard& sh = *shards_[shard];
+  ++sh.version;
+  IndexedQueue::Key k;
+  if (sh.q.peek(now_, &k)) {
+    heads_.push_back(Head{k.time, k.seq, shard, sh.version});
+    std::push_heap(heads_.begin(), heads_.end(), head_later);
+  }
+}
+
+bool ShardedEngine::run_one(TimePs limit) {
+  TCA_ASSERT(!parallel() &&
+             "epoch mode commits whole windows; use run()/run_until()");
+  return run_one_merge(limit);
+}
+
+bool ShardedEngine::run_one_merge(TimePs limit) {
+  while (!heads_.empty()) {
+    const Head h = heads_.front();
+    Shard& sh = *shards_[h.shard];
+    if (h.version != sh.version) {
+      // A later schedule/cancel/pop on this shard replaced its front entry.
+      std::pop_heap(heads_.begin(), heads_.end(), head_later);
+      heads_.pop_back();
+      continue;
+    }
+    if (h.time > limit) return false;
+    IndexedQueue::Key k;
+    const bool have = sh.q.peek(now_, &k);
+    TCA_ASSERT(have && k.time == h.time && k.seq == h.seq);
+    EventFn fn;
+    sh.q.pop_min(&fn);
+    std::pop_heap(heads_.begin(), heads_.end(), head_later);
+    heads_.pop_back();
+    refresh_head(h.shard);
+    if (h.time != now_) {
+      now_ = h.time;
+      Log::set_now(now_);
+    }
+    ++processed_;
+    ArenaScope arena(&sh.arena);
+    ShardExecScope exec(this, h.shard, now_);
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void ShardedEngine::run_until(TimePs t) {
+  TCA_ASSERT(t >= now_);
+  if (parallel()) {
+    run_epochs(t);
+  } else {
+    while (run_one_merge(t)) {
+    }
+  }
+  if (t != kNoLimit && now_ < t) {
+    now_ = t;
+    Log::set_now(now_);
+  }
+}
+
+void ShardedEngine::run() { run_until(kNoLimit); }
+
+bool ShardedEngine::empty() const {
+  for (const auto& sh : shards_) {
+    if (!sh->q.empty()) return false;
+  }
+  for (const auto& box : mail_) {
+    if (!box.empty()) return false;
+  }
+  return true;
+}
+
+std::uint64_t ShardedEngine::processed() const {
+  std::uint64_t total = processed_;
+  for (const auto& sh : shards_) total += sh->processed;
+  return total;
+}
+
+// --- Epoch mode -------------------------------------------------------------
+
+void ShardedEngine::exec_shard(std::uint32_t shard, TimePs epoch_end,
+                               TimePs limit) {
+  Shard& sh = *shards_[shard];
+  // All pending events are >= the committed clock (the window starts at the
+  // global minimum), so the shard clock may be pulled up to it.
+  sh.local_now = std::max(sh.local_now, now_);
+  ArenaScope arena(&sh.arena);
+  ShardExecScope exec(this, shard, sh.local_now);
+  for (;;) {
+    IndexedQueue::Key k;
+    if (!sh.q.peek(sh.local_now, &k)) break;
+    if (k.time >= epoch_end || k.time > limit) break;
+    EventFn fn;
+    sh.q.pop_min(&fn);
+    sh.local_now = k.time;
+    ShardExecScope::set_now(k.time);
+    ++sh.processed;
+    fn();
+  }
+}
+
+void ShardedEngine::drain_mail(std::uint32_t dst) {
+  Shard& d = *shards_[dst];
+  const std::size_t n = shards_.size();
+  for (std::size_t src = 0; src < n; ++src) {
+    std::vector<MailItem>& box = mail_[src * n + dst];
+    for (MailItem& item : box) {
+      TCA_ASSERT(item.t >= d.local_now);
+      d.q.schedule_fn(item.t, d.local_now, d.seq++, std::move(item.fn));
+    }
+    box.clear();
+  }
+}
+
+bool ShardedEngine::plan_epoch(TimePs limit) {
+  TimePs min_t = kNoLimit;
+  for (const auto& sh : shards_) {
+    IndexedQueue::Key k;
+    if (sh->q.peek(sh->local_now, &k)) min_t = std::min(min_t, k.time);
+  }
+  if (min_t == kNoLimit || min_t > limit) return false;
+  // Epochs jump to the earliest pending event, so a quiet millisecond costs
+  // one pass, not lookahead-sized increments.
+  if (min_t > now_) {
+    now_ = min_t;
+    Log::set_now(now_);
+  }
+  epoch_end_ = now_ > kNoLimit - cfg_.lookahead_ps ? kNoLimit
+                                                   : now_ + cfg_.lookahead_ps;
+  return true;
+}
+
+void ShardedEngine::run_epochs(TimePs limit) {
+  // The Trace recorder is a process-wide single-threaded singleton; events
+  // recording from parallel shard executors would race. Merge mode is the
+  // tracing configuration.
+  TCA_ASSERT(!Trace::instance().enabled() &&
+             "tracing requires merge mode (threads == 0)");
+  const unsigned workers = std::max(1u, std::min<unsigned>(
+      cfg_.threads, static_cast<unsigned>(shards_.size())));
+
+  if (!plan_epoch(limit)) return;
+
+  // Persistent worker pool for the whole call: the barrier both paces the
+  // three phases (execute window / drain mailboxes / plan next) and
+  // publishes the plain shared state (epoch_end_, now_, stop) written by
+  // worker 0 while the others wait.
+  bool stop = false;
+  std::barrier<> bar(workers);
+  const std::uint32_t nshards = shard_count();
+
+  auto worker = [&](unsigned w) {
+    for (;;) {
+      bar.arrive_and_wait();  // window parameters published
+      if (stop) return;
+      const TimePs window_end = epoch_end_;
+      for (std::uint32_t s = w; s < nshards; s += workers) {
+        exec_shard(s, window_end, limit);
+      }
+      bar.arrive_and_wait();  // all executors done; mailboxes frozen
+      for (std::uint32_t d = w; d < nshards; d += workers) {
+        drain_mail(d);
+      }
+      bar.arrive_and_wait();  // all drains done
+      if (w == 0) stop = !plan_epoch(limit);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (unsigned w = 1; w < workers; ++w) {
+    pool.emplace_back(worker, w);
+  }
+  worker(0);
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace tca::sim

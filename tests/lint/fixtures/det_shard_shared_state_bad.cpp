@@ -1,0 +1,17 @@
+// Seeded violation: det-shard-shared-state — mutable statics on a shard
+// execution path. Epoch-mode workers execute event bodies concurrently, so
+// unsynchronized shared state is a data race, and the value any event
+// observes depends on thread interleaving: replay stops being bit-identical.
+#include <cstdint>
+
+namespace fixture {
+
+inline static std::uint64_t g_events_executed = 0;  // namespace-scope static
+
+std::uint64_t next_sequence() {
+  static std::uint64_t counter = 0;  // function-local mutable static
+  ++g_events_executed;
+  return ++counter;
+}
+
+}  // namespace fixture

@@ -102,6 +102,17 @@ TEST(LintDeterminism, KeyedLookupAndOrderedIterationPass) {
   EXPECT_TRUE(lint_file("det_unordered_iter_good.cpp").empty());
 }
 
+TEST(LintDeterminism, ShardSharedStateFlagged) {
+  const auto fs = lint_file("det_shard_shared_state_bad.cpp");
+  // namespace-scope static and function-local static
+  EXPECT_EQ(count_rule(fs, "det-shard-shared-state"), 2u);
+  EXPECT_TRUE(only_rules(fs, {"det-shard-shared-state"}));
+}
+
+TEST(LintDeterminism, SynchronizedOrPerThreadStatePasses) {
+  EXPECT_TRUE(lint_file("det_shard_shared_state_good.cpp").empty());
+}
+
 TEST(LintRegisters, MagicMmioFlagged) {
   const auto fs = lint_file("reg_magic_mmio_bad.cpp");
   EXPECT_EQ(count_rule(fs, "reg-magic-mmio"), 3u);
@@ -146,7 +157,7 @@ TEST(LintCatalogue, RuleIdsAreUnique) {
   const auto ids = tca::lint::rule_ids();
   const std::set<std::string> unique(ids.begin(), ids.end());
   EXPECT_EQ(ids.size(), unique.size());
-  EXPECT_EQ(ids.size(), 15u);
+  EXPECT_EQ(ids.size(), 16u);
 }
 
 // The actual gate: the repository (src/, tests/, tools/, examples/, bench/

@@ -123,7 +123,8 @@ struct FileEntry {
 std::vector<std::string> rule_ids() {
   return {
       "coro-temporary-closure", "coro-ref-param",     "det-wall-clock",
-      "det-raw-rand",           "det-unordered-iter", "reg-magic-mmio",
+      "det-raw-rand",           "det-unordered-iter",
+      "det-shard-shared-state", "reg-magic-mmio",
       "reg-misaligned",         "reg-dup-offset",     "reg-out-of-window",
       "reg-field-overflow",     "reg-bank-overlap",   "reg-bad-alias",
       "reg-table-mismatch",     "reg-map-parse",      "lint-bad-suppression",
@@ -167,6 +168,7 @@ std::vector<Finding> run_lint(const Options& opts) {
       scope.check_magic_mmio = path_contains(p, "src/driver/") ||
                                path_contains(p, "src/peach2/") ||
                                path_contains(p, "tests/");
+      scope.check_shard_state = path_contains(p, "src/sim/");
       add_file(p, scope, path_contains(p, "peach2/registers.h"));
     }
   }

@@ -24,6 +24,11 @@
 //                            is implementation-defined, so anything it
 //                            feeds (trace, metrics, free lists) diverges
 //                            across platforms.
+//    det-shard-shared-state  mutable static in a shard-execution path
+//                            (src/sim): epoch-mode workers run event bodies
+//                            concurrently, so a static that is not
+//                            const/std::atomic/thread_local both races and
+//                            makes replay depend on thread interleaving.
 //
 //  register map (src/peach2/registers.h + MMIO call sites)
 //    reg-magic-mmio          write_register/read_register/dma_bank called
@@ -96,6 +101,7 @@ struct FileScope {
   bool allow_wall_clock = false;   // bench/ measures real time
   bool allow_raw_rand = false;     // common/rng wraps the generator
   bool check_magic_mmio = true;    // driver/, peach2/, tests/ + fixtures
+  bool check_shard_state = true;   // src/sim (shard-execution) + fixtures
 };
 
 void collect_unordered_names(const LexedFile& f, Context& ctx);

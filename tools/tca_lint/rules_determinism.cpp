@@ -67,9 +67,69 @@ void collect_unordered_names(const LexedFile& f, Context& ctx) {
   }
 }
 
+namespace {
+
+/// det-shard-shared-state: a mutable `static` in a shard-execution path.
+/// Shard workers run event bodies concurrently in epoch mode, so any static
+/// that is not const/constexpr, std::atomic, or thread_local is both a data
+/// race and a replay hazard (its value depends on thread interleaving).
+/// Token heuristic: scan the declaration from `static` to the first
+/// top-level `;`, `=`, `{` or `(`; a `(` first means a function declaration
+/// (never state), and any const/constexpr/atomic/thread_local/mutex token
+/// means the state is immutable, synchronized, or per-thread.
+void check_shard_statics(const std::string& path, const LexedFile& f,
+                         std::vector<Finding>& out) {
+  const std::vector<Tok>& toks = f.toks;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || toks[i].text != "static") continue;
+    // `thread_local static` / `const static` spellings: look one token back.
+    if (i > 0 && toks[i - 1].kind == TokKind::kIdent &&
+        (toks[i - 1].text == "thread_local" || toks[i - 1].text == "const" ||
+         toks[i - 1].text == "constexpr")) {
+      continue;
+    }
+    bool safe = false;
+    bool is_function = false;
+    std::string name;
+    std::size_t j = i + 1;
+    for (; j < toks.size(); ++j) {
+      const Tok& u = toks[j];
+      if (u.kind == TokKind::kIdent) {
+        if (u.text == "const" || u.text == "constexpr" ||
+            u.text == "consteval" || u.text == "atomic" ||
+            u.text == "atomic_flag" || u.text == "thread_local" ||
+            u.text == "mutex" || u.text == "once_flag") {
+          safe = true;
+          break;
+        }
+        name = u.text;
+        continue;
+      }
+      if (u.kind != TokKind::kPunct) continue;
+      if (u.text == "(") {
+        is_function = true;  // also skips paren-init statics (rare here)
+        break;
+      }
+      if (u.text == ";" || u.text == "=" || u.text == "{") break;
+    }
+    if (safe || is_function || name.empty()) continue;
+    out.push_back(
+        {path, toks[i].line, "det-shard-shared-state",
+         "mutable static `" + name +
+             "` in a shard-execution path: epoch-mode workers execute "
+             "events concurrently, so unsynchronized statics race and make "
+             "replay depend on thread interleaving — use std::atomic, "
+             "thread_local, const, or per-shard state"});
+    i = j;
+  }
+}
+
+}  // namespace
+
 void check_determinism(const std::string& path, const LexedFile& f,
                        const Context& ctx, const FileScope& scope,
                        std::vector<Finding>& out) {
+  if (scope.check_shard_state) check_shard_statics(path, f, out);
   const std::vector<Tok>& toks = f.toks;
   for (std::size_t i = 0; i < toks.size(); ++i) {
     const Tok& t = toks[i];
