@@ -61,7 +61,7 @@ Point run_point(std::uint32_t ranks, std::uint64_t count) {
   {
     sim::Scheduler sched;
     api::Runtime rt(sched,
-                    api::TcaConfig{.node_count = ranks,
+                    api::TcaConfig{.spec = fabric::TopologySpec::ring(ranks),
                                    .node_config = {.gpu_count = 2,
                                                    .host_backing_bytes =
                                                        64ull << 20,

@@ -63,7 +63,7 @@ Point run_point(std::uint64_t row_bytes, int iters) {
   {
     sim::Scheduler sched;
     api::Runtime rt(sched,
-                    api::TcaConfig{.node_count = kNodes,
+                    api::TcaConfig{.spec = fabric::TopologySpec::ring(kNodes),
                                    .node_config = {.gpu_count = 2,
                                                    .host_backing_bytes =
                                                        32ull << 20,

@@ -22,7 +22,7 @@ Run run_with_ber(double ber) {
   sim::Scheduler sched;
   fabric::SubCluster tca(
       sched, fabric::SubClusterConfig{
-                 .node_count = 2,
+                 .spec = fabric::TopologySpec::ring(2),
                  .node_config = {.gpu_count = 2,
                                  .host_backing_bytes = 64ull << 20,
                                  .gpu_backing_bytes = 8ull << 20},

@@ -52,7 +52,7 @@ int main() {
     const double bw = chain_bw(ring8, dest);
     lat_by_hops.push_back(lat);
     hops.add_row({"node " + std::to_string(dest),
-                  TablePrinter::cell(std::uint64_t{ring8.cluster.ring_hops(
+                  TablePrinter::cell(std::uint64_t{ring8.cluster.hops(
                       0, dest)}),
                   TablePrinter::cell(lat, 0) + " ns",
                   bench::fmt_gbps(bw) + " GB/s", ""});
@@ -91,8 +91,7 @@ int main() {
   sim::Scheduler dsched;
   fabric::SubCluster dual_ring(
       dsched, fabric::SubClusterConfig{
-                  .node_count = 8,
-                  .topology = fabric::Topology::kDualRing,
+                  .spec = fabric::TopologySpec::dual_ring(8),
                   .node_config = {.gpu_count = 2,
                                   .host_backing_bytes = 64ull << 20,
                                   .gpu_backing_bytes = 8ull << 20}});

@@ -46,6 +46,7 @@
 
 #include "bench/bench_util.h"
 #include "calib/calibration.h"
+#include "fabric/topology.h"
 #include "sim/scheduler.h"
 #include "sim/sharded.h"
 
@@ -93,6 +94,7 @@ struct Rig {
   Scheduler* sched = nullptr;
   std::uint32_t nodes = 0;
   std::uint32_t token_hops = 0;
+  std::vector<std::uint32_t> next_of;  // token successor per node
   bool track_global = false;  // off for multi-thread epoch runs (shared word)
   std::uint64_t global_hash = 0xcbf29ce484222325ull;
   std::vector<std::uint64_t> shard_hash;   // one slot per node == shard
@@ -152,7 +154,7 @@ void hop_token(Rig* rig, std::uint32_t node, std::uint32_t hops_left,
                std::uint32_t token) {
   rig->touch(node, 0x10000ull + token * 1000ull + hops_left);
   if (hops_left == 0) return;
-  const std::uint32_t next = node + 1 == rig->nodes ? 0 : node + 1;
+  const std::uint32_t next = rig->next_of[node];
   // The hop crosses the cable: schedule on the *neighbour's* shard at now +
   // flight time, rounded up onto the arrival lattice. flight >= lookahead,
   // so in epoch mode this always lands at or past the epoch boundary.
@@ -175,14 +177,30 @@ struct Workload {
   std::uint32_t nodes;
   std::uint64_t fires_per_timer;
   std::uint32_t token_hops;
+  /// Empty (default): plain ring successor, the original sweep byte for
+  /// byte. A torus spec routes tokens along the boustrophedon ring order
+  /// instead — every hop is still one cable (unit fabric hop), but the
+  /// cross-shard edges now follow the snaked dimension-order walk.
+  fabric::TopologySpec spec;
 };
 
-/// One full simulation of the ring workload on the given scheduler.
+/// One full simulation of the ring/torus workload on the given scheduler.
 RunResult run_ring(Scheduler& sched, const Workload& w, bool track_global) {
   Rig rig;
   rig.sched = &sched;
   rig.nodes = w.nodes;
   rig.token_hops = w.token_hops;
+  rig.next_of.resize(w.nodes);
+  if (w.spec.empty()) {
+    for (std::uint32_t i = 0; i < w.nodes; ++i) {
+      rig.next_of[i] = i + 1 == w.nodes ? 0 : i + 1;
+    }
+  } else {
+    const std::vector<std::uint32_t> order = w.spec.ring_order();
+    for (std::uint32_t p = 0; p < w.nodes; ++p) {
+      rig.next_of[order[p]] = order[(p + 1) % w.nodes];
+    }
+  }
   rig.track_global = track_global;
   rig.shard_hash.assign(w.nodes, 0xcbf29ce484222325ull);
   rig.state.assign(static_cast<std::size_t>(w.nodes) * kStateWords, 0);
@@ -258,6 +276,7 @@ RunResult best_wall(int reps, F&& run) {
 }
 
 struct SweepRow {
+  std::string label;  // JSON key: ring_<n> or torus_<XxY[xZ]>
   std::uint32_t nodes = 0;
   double baseline_s = 0, indexed_s = 0, merge_s = 0, epoch1_s = 0,
          epoch2_s = 0;
@@ -272,8 +291,18 @@ struct SweepRow {
   }
 };
 
+std::string row_label(const Workload& w) {
+  if (w.spec.empty()) return "ring_" + std::to_string(w.nodes);
+  std::string label = w.spec.to_string();  // torus:8x8 -> torus_8x8
+  for (char& c : label) {
+    if (c == ':') c = '_';
+  }
+  return label;
+}
+
 SweepRow sweep_point(const Workload& w, int reps) {
   SweepRow row;
+  row.label = row_label(w);
   row.nodes = w.nodes;
   const RunResult base =
       best_wall(reps, [&] { return run_backend(QueueImpl::kBaseline, w); });
@@ -318,12 +347,28 @@ int run(bool smoke, const std::string& json_path) {
   for (std::uint32_t n : nodes) {
     rows.push_back(sweep_point(Workload{n, fires, hops}, reps));
   }
+  const SweepRow gate = rows.back();  // largest ring: the wall-clock gate
+                                      // (copied — rows grows below)
 
-  TablePrinter table({"nodes", "events", "baseline (s)", "indexed (s)",
+  // Torus sweep: same engine, tokens snaking the boustrophedon order. The
+  // 8x8 and 4x4x4 tori are the >= 64-node acceptance shapes; they share the
+  // ring rows' determinism gates (identical hashes across thread counts).
+  const std::vector<fabric::TopologySpec> tori =
+      smoke ? std::vector<fabric::TopologySpec>{fabric::TopologySpec::torus(
+                  {8, 8})}
+            : std::vector<fabric::TopologySpec>{
+                  fabric::TopologySpec::torus({8, 8}),
+                  fabric::TopologySpec::torus({4, 4, 4})};
+  for (const fabric::TopologySpec& spec : tori) {
+    rows.push_back(
+        sweep_point(Workload{spec.node_count(), fires, hops, spec}, reps));
+  }
+
+  TablePrinter table({"topology", "events", "baseline (s)", "indexed (s)",
                       "merge (s)", "epoch T=1 (s)", "epoch T=2 (s)",
                       "speedup", "merge speedup"});
   for (const SweepRow& r : rows) {
-    table.add_row({std::to_string(r.nodes), std::to_string(r.events),
+    table.add_row({r.label, std::to_string(r.events),
                    TablePrinter::cell(r.baseline_s, 3),
                    TablePrinter::cell(r.indexed_s, 3),
                    TablePrinter::cell(r.merge_s, 3),
@@ -336,7 +381,6 @@ int run(bool smoke, const std::string& json_path) {
 
   ShapeCheck check;
   char buf[200];
-  const SweepRow& gate = rows.back();
   std::snprintf(buf, sizeof buf,
                 "sharded epoch backend %.2fx >= %.1fx over seed baseline at "
                 "%u nodes (wall clock)",
@@ -345,16 +389,21 @@ int run(bool smoke, const std::string& json_path) {
   check.expect(gate.nodes >= 64, "gated sweep point covers >= 64 nodes");
   for (const SweepRow& r : rows) {
     std::snprintf(buf, sizeof buf,
-                  "%u nodes: baseline/indexed/merge global event order "
-                  "identical",
-                  r.nodes);
+                  "%s: baseline/indexed/merge global event order identical",
+                  r.label.c_str());
     check.expect(r.order_equivalent, buf);
     std::snprintf(buf, sizeof buf,
-                  "%u nodes: per-shard event order invariant across merge "
-                  "and epoch T=1/T=2",
-                  r.nodes);
+                  "%s: per-shard event order invariant across merge and "
+                  "epoch T=1/T=2",
+                  r.label.c_str());
     check.expect(r.thread_invariant, buf);
   }
+  check.expect(std::any_of(rows.begin(), rows.end(),
+                           [](const SweepRow& r) {
+                             return r.label.rfind("torus", 0) == 0 &&
+                                    r.nodes >= 64 && r.thread_invariant;
+                           }),
+               ">= 64-node torus completes with thread-invariant hashes");
 
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
@@ -366,12 +415,12 @@ int run(bool smoke, const std::string& json_path) {
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const SweepRow& r = rows[i];
       std::fprintf(f,
-                   "    \"ring_%u\": {\"events\": %llu, "
+                   "    \"%s\": {\"events\": %llu, "
                    "\"baseline_wall_s\": %.4f, \"indexed_wall_s\": %.4f, "
                    "\"merge_wall_s\": %.4f, \"epoch1_wall_s\": %.4f, "
                    "\"epoch2_wall_s\": %.4f, \"speedup\": %.3f, "
                    "\"merge_speedup\": %.3f}%s\n",
-                   r.nodes, static_cast<unsigned long long>(r.events),
+                   r.label.c_str(), static_cast<unsigned long long>(r.events),
                    r.baseline_s, r.indexed_s, r.merge_s, r.epoch1_s,
                    r.epoch2_s, r.speedup(), r.merge_speedup(),
                    i + 1 < rows.size() ? "," : "");

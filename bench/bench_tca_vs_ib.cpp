@@ -63,7 +63,7 @@ int main() {
     // --- TCA: one GPU-to-GPU put ------------------------------------------
     sim::Scheduler tca_sched;
     api::Runtime rt(tca_sched,
-                    api::TcaConfig{.node_count = 2,
+                    api::TcaConfig{.spec = fabric::TopologySpec::ring(2),
                                    .node_config = {.gpu_count = 2,
                                                    .host_backing_bytes =
                                                        64ull << 20,

@@ -70,7 +70,7 @@ class ShapeCheck {
 struct DmaRig {
   explicit DmaRig(std::uint32_t nodes = 2)
       : cluster(sched, fabric::SubClusterConfig{
-                           .node_count = nodes,
+                           .spec = fabric::TopologySpec::ring(nodes),
                            .node_config = {.gpu_count = 2,
                                            .host_backing_bytes = 64ull << 20,
                                            .gpu_backing_bytes = 8ull << 20}}) {

@@ -74,7 +74,7 @@ TimePs run_mpi_allreduce(std::vector<std::vector<double>>& data) {
 
 int main() {
   sim::Scheduler sched;
-  api::Runtime rt(sched, api::TcaConfig{.node_count = kNodes});
+  api::Runtime rt(sched, api::TcaConfig{.spec = fabric::TopologySpec::ring(kNodes)});
   auto comm_result = coll::Communicator::create(rt);
   if (!comm_result.is_ok()) {
     std::printf("communicator creation failed: %s\n",

@@ -30,7 +30,7 @@ constexpr std::uint64_t kBlockBytes = 256; // sub-block per row
 
 int main() {
   sim::Scheduler sched;
-  api::Runtime rt(sched, api::TcaConfig{.node_count = 2});
+  api::Runtime rt(sched, api::TcaConfig{.spec = fabric::TopologySpec::ring(2)});
 
   const std::uint64_t extent = kRows * kRowPitch;
   auto src = rt.alloc_gpu(0, 0, extent).value();

@@ -121,7 +121,7 @@ sim::Task<> tca_node_task(api::Runtime& rt, coll::Communicator& comm,
 
 RunResult run_tca() {
   sim::Scheduler sched;
-  api::Runtime rt(sched, api::TcaConfig{.node_count = kNodes});
+  api::Runtime rt(sched, api::TcaConfig{.spec = fabric::TopologySpec::ring(kNodes)});
   auto comm = coll::Communicator::create(rt);
   TCA_ASSERT(comm.is_ok());
 

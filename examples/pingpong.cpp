@@ -56,7 +56,7 @@ int main() {
   for (std::uint64_t size : sizes) {
     // --- TCA transports ----------------------------------------------------
     sim::Scheduler tca_sched;
-    api::Runtime rt(tca_sched, api::TcaConfig{.node_count = 2});
+    api::Runtime rt(tca_sched, api::TcaConfig{.spec = fabric::TopologySpec::ring(2)});
     auto b0 = rt.alloc_host(0, 1 << 20).value();
     auto b1 = rt.alloc_host(1, 1 << 20).value();
     std::vector<std::byte> payload(size, std::byte{0x5A});

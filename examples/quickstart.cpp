@@ -15,7 +15,7 @@ using namespace tca;
 
 int main() {
   sim::Scheduler sched;
-  api::Runtime rt(sched, api::TcaConfig{.node_count = 2});
+  api::Runtime rt(sched, api::TcaConfig{.spec = fabric::TopologySpec::ring(2)});
 
   // cuMemAlloc + GPUDirect pinning on each node, one call.
   auto src = rt.alloc_gpu(/*node=*/0, /*gpu=*/0, 1 << 20);

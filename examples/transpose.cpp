@@ -82,7 +82,7 @@ bool verify(std::uint32_t node, const std::vector<double>& out) {
 int main() {
   // ---------------- TCA version -------------------------------------------
   sim::Scheduler sched;
-  api::Runtime rt(sched, api::TcaConfig{.node_count = kNodes});
+  api::Runtime rt(sched, api::TcaConfig{.spec = fabric::TopologySpec::ring(kNodes)});
   sim::Barrier barrier(sched, kNodes);
 
   std::vector<api::Buffer> src_bufs, stage_bufs;

@@ -92,4 +92,12 @@ echo "== tca_explore --workload smoke =="
 "$BUILD"/tools/tca_explore --workload allreduce --size 65536 --nodes 4
 "$BUILD"/tools/tca_explore --workload halo --size 2048 --nodes 4
 
+echo "== tca_explore torus smoke =="
+# 2D torus, dimension-order routed: a cross-dimension DMA plus a collective
+# riding the boustrophedon ring order (allreduce verifies the result).
+"$BUILD"/tools/tca_explore --topology torus:4x4 --op pipelined \
+  --target remote-host --dest 5 --burst 8 --sizes 4096
+"$BUILD"/tools/tca_explore --topology torus:4x4 --workload allreduce \
+  --size 65536
+
 echo "check.sh: OK"

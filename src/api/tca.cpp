@@ -9,21 +9,25 @@ using peach2::DmaDescriptor;
 using peach2::DmaDirection;
 using peach2::TcaTarget;
 
+fabric::TopologySpec Runtime::resolved_topology(const TcaConfig& config) {
+  if (!config.spec.empty()) return config.spec;
+  // One release of compatibility for the pre-TopologySpec enum surface.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  return fabric::TopologySpec::from_legacy(config.topology,
+                                           config.node_count);
+#pragma GCC diagnostic pop
+}
+
 Status Runtime::validate_config(const TcaConfig& config) {
-  // Node count: the sub-cluster layout rules (power of two, <= 16 nodes)
-  // come from the address-window partitioning — reuse that validation.
+  // Per-topology shape rules (ring [2, 16], torus extents/route capacity)
+  // live with the spec itself.
+  const fabric::TopologySpec spec = resolved_topology(config);
+  if (Status st = spec.validate(); !st.is_ok()) return st;
+  // The address window must still partition across the nodes.
   auto layout = peach2::TcaLayout::create(
-      calib::kTcaWindowBase, calib::kTcaWindowBytes, config.node_count);
+      calib::kTcaWindowBase, calib::kTcaWindowBytes, spec.node_count());
   if (!layout.is_ok()) return layout.status();
-  if (config.node_count < 2) {
-    return {ErrorCode::kInvalidArgument,
-            "a sub-cluster needs at least 2 nodes"};
-  }
-  if (config.topology == fabric::Topology::kDualRing &&
-      config.node_count < 4) {
-    return {ErrorCode::kInvalidArgument,
-            "dual-ring topology needs at least 4 nodes (two rings of 2)"};
-  }
   if (config.node_config.gpu_count < 1 || config.node_config.gpu_count > 4) {
     return {ErrorCode::kInvalidArgument,
             "per-node GPU count must be 1..4 (two per socket)"};
@@ -52,15 +56,14 @@ Runtime::Runtime(sim::Scheduler& sched, const TcaConfig& config)
       cluster_((TCA_ASSERT(validate_config(config).is_ok()),
                 std::make_unique<fabric::SubCluster>(
                     sched, fabric::SubClusterConfig{
-                               .node_count = config.node_count,
-                               .topology = config.topology,
+                               .spec = resolved_topology(config),
                                .node_config = config.node_config,
                                .cable_bit_error_rate =
                                    config.cable_bit_error_rate,
                                .fault_plan = config.fault_plan,
                                .enable_failover = config.enable_failover,
                            }))),
-      host_alloc_cursor_(config.node_count, 0) {}
+      host_alloc_cursor_(cluster_->size(), 0) {}
 
 Result<Buffer> Runtime::alloc_host(std::uint32_t node, std::uint64_t bytes) {
   if (node >= node_count()) {

@@ -27,7 +27,14 @@
 namespace tca::api {
 
 struct TcaConfig {
+  /// Preferred topology description — ring, dual ring, or a 1D/2D/3D torus
+  /// (see fabric::TopologySpec). When left empty the deprecated
+  /// node_count/topology pair below is resolved through
+  /// TopologySpec::from_legacy.
+  fabric::TopologySpec spec;
+  [[deprecated("set TcaConfig::spec instead")]]
   std::uint32_t node_count = 2;
+  [[deprecated("set TcaConfig::spec instead")]]
   fabric::Topology topology = fabric::Topology::kRing;
   node::NodeConfig node_config = {
       .gpu_count = 2,
@@ -95,11 +102,18 @@ struct SyncOptions {
 
 class Runtime {
  public:
-  /// Validates `config` without building anything: node count must satisfy
-  /// the sub-cluster rules (power of two in [2, 16]; dual ring needs >= 4),
-  /// per-node GPU count must be 1..4, and the backing stores must be large
-  /// enough for the driver's host layout. Returns the first violation.
+  /// Validates `config` without building anything. Per-topology shape
+  /// rules come from fabric::TopologySpec::validate() — rings keep the
+  /// paper's power-of-two [2, 16] bound, tori accept shapes like 4x4x4 and
+  /// name the violated dimension on error. On top of that: the address
+  /// window must partition across the nodes, per-node GPU count must be
+  /// 1..4, and the backing stores must be large enough for the driver's
+  /// host layout. Returns the first violation.
   static Status validate_config(const TcaConfig& config);
+
+  /// The topology `config` resolves to: `spec` when set, otherwise the
+  /// deprecated enum fields.
+  static fabric::TopologySpec resolved_topology(const TcaConfig& config);
 
   /// Fallible construction: validates, then builds. Prefer this over the
   /// constructor — an invalid config comes back as a Status instead of an

@@ -243,8 +243,18 @@ inline constexpr std::uint64_t kTcaWindowBytes = 512ull << 30;
 /// the routers can decode slices by masked compare alone).
 inline constexpr std::uint64_t kTcaWindowBase = 0x80'0000'0000ull;  // 512 GiB
 
-/// Sub-cluster size bounds (Section II-B: "eight to 16 nodes").
+/// Sub-cluster size bounds (Section II-B: "eight to 16 nodes"). Ring and
+/// dual-ring topologies keep this paper limit.
 inline constexpr std::uint32_t kMaxSubClusterNodes = 16;
+
+/// Torus-scale fabric bound (the APEnet+ direction: 2D/3D tori of FPGA
+/// NICs). Upper limit on the product of torus extents; the address window
+/// still partitions into power-of-two slices decoded by masked compare.
+inline constexpr std::uint32_t kMaxFabricNodes = 1024;
+
+/// Largest cubic torus extent under kMaxFabricNodes (8x8x8 = 512); pins the
+/// compile-time route-table capacity check in fabric/topology.cpp.
+inline constexpr std::uint32_t kMaxTorusExtent3D = 8;
 
 // ---------------------------------------------------------------------------
 // InfiniBand / MPI baseline (Sections I, II-A, IV-B1, V)

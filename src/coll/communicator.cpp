@@ -68,10 +68,14 @@ Communicator::Communicator(api::Runtime& rt, CollConfig cfg)
     : rt_(&rt),
       cfg_(cfg),
       ranks_(rt.node_count()),
+      ring_order_(rt.cluster().topology().ring_order()),
+      ring_pos_(ranks_, 0),
       slot_stride_(round_up_256(cfg.pipeline_seg_bytes)),
       eager_slot_(round_up_256(std::max<std::uint64_t>(cfg.eager_threshold, 8))),
       eager_tx_seq_(std::size_t{ranks_} * ranks_, 0),
-      eager_rx_seq_(std::size_t{ranks_} * ranks_, 0) {}
+      eager_rx_seq_(std::size_t{ranks_} * ranks_, 0) {
+  for (std::uint32_t p = 0; p < ranks_; ++p) ring_pos_[ring_order_[p]] = p;
+}
 
 Status Communicator::validate_config(const CollConfig& cfg) {
   if (cfg.pipeline_seg_bytes < 256 || cfg.pipeline_seg_bytes % 8 != 0) {
@@ -181,7 +185,7 @@ sim::Task<Status> Communicator::put_seg(api::Buffer src, std::uint64_t src_off,
 sim::Task<Status> Communicator::ring_send(
     std::uint32_t rank, api::Buffer buf, std::uint64_t src_off,
     std::uint64_t bytes, const std::vector<std::byte>* host_src) {
-  const std::uint32_t next = (rank + 1) % ranks_;
+  const std::uint32_t next = ring_next(rank);
   RankState& me = states_[rank];
   // `host_src` carries the previous step's fold result, already
   // host-resident — forward it straight from the bounce buffer (the same
@@ -262,7 +266,7 @@ sim::Task<Status> Communicator::ring_recv(std::uint32_t rank, api::Buffer buf,
                                           std::uint64_t dst_off,
                                           std::uint64_t bytes, RecvMode mode,
                                           std::vector<std::byte>* carry_out) {
-  const std::uint32_t prev = (rank + ranks_ - 1) % ranks_;
+  const std::uint32_t prev = ring_prev(rank);
   RankState& me = states_[rank];
   const std::uint64_t seg = cfg_.pipeline_seg_bytes;
   if (carry_out != nullptr) carry_out->resize(bytes);
@@ -301,12 +305,18 @@ sim::Task<Status> Communicator::ring_phase(std::uint32_t rank, api::Buffer buf,
                                            int shift, RecvMode mode,
                                            std::vector<std::byte>* carry) {
   const int n = static_cast<int>(ranks_);
+  // Chunk ids are ranks (rank r owns chunk r), but the rotation schedule
+  // walks ring *positions*: position arithmetic maps back to a chunk id via
+  // rank_at. On ring topologies the order is the identity and this reduces
+  // to the classic (rank + shift - s) mod n schedule, step for step.
   std::vector<std::byte> incoming;
   for (int s = 0; s + 1 < n; ++s) {
-    const auto send_chunk = static_cast<std::uint64_t>(
-        (static_cast<int>(rank) + 2 * n + shift - s) % n);
-    const auto recv_chunk = static_cast<std::uint64_t>(
-        (static_cast<int>(rank) + 2 * n + shift - s - 1) % n);
+    const auto send_chunk = static_cast<std::uint64_t>(rank_at(
+        static_cast<std::uint32_t>(
+            (static_cast<int>(ring_pos(rank)) + 2 * n + shift - s) % n)));
+    const auto recv_chunk = static_cast<std::uint64_t>(rank_at(
+        static_cast<std::uint32_t>(
+            (static_cast<int>(ring_pos(rank)) + 2 * n + shift - s - 1) % n)));
     // tx starts eagerly; rx runs concurrently so the step can't deadlock
     // even when segment count exceeds the staging credit depth. The chunk
     // sent here is exactly the one received last step, so a non-empty
@@ -432,7 +442,7 @@ sim::Task<Status> Communicator::ring_broadcast(std::uint32_t rank,
                                                std::uint64_t offset,
                                                std::uint64_t bytes) {
   const std::uint32_t n = ranks_;
-  const std::uint32_t pos = (rank + n - root) % n;
+  const std::uint32_t pos = (ring_pos(rank) + n - ring_pos(root)) % n;
   if (pos == 0) {
     co_return co_await ring_send(rank, buf, offset, bytes, nullptr);
   }
@@ -444,8 +454,8 @@ sim::Task<Status> Communicator::ring_broadcast(std::uint32_t rank,
   // land it in the user buffer, then put it onward from the host bounce
   // buffer (the staging read already made it host-resident, so the relay
   // DMA runs at wire rate regardless of where `buf` lives).
-  const std::uint32_t prev = (rank + n - 1) % n;
-  const std::uint32_t next = (rank + 1) % n;
+  const std::uint32_t prev = ring_prev(rank);
+  const std::uint32_t next = ring_next(rank);
   RankState& me = states_[rank];
   const std::uint64_t seg = cfg_.pipeline_seg_bytes;
   for (std::uint64_t off = 0; off < bytes; off += seg) {
@@ -714,8 +724,8 @@ sim::Task<Status> Communicator::neighbor_exchange(std::uint32_t rank,
     ++metrics_.halo_ops;
     co_return Status::ok();
   }
-  const std::uint32_t next = (rank + 1) % ranks_;
-  const std::uint32_t prev = (rank + ranks_ - 1) % ranks_;
+  const std::uint32_t next = ring_next(rank);
+  const std::uint32_t prev = ring_prev(rank);
   RankState& me = states_[rank];
   const std::uint32_t h = ++me.halo_seq;
   const TimePs t0 = rt_->scheduler().now();

@@ -298,9 +298,30 @@ class Communicator {
 
   [[nodiscard]] std::uint64_t halo_slot_off(bool from_prev) const;
 
+  /// Logical ring order over the ranks, derived from the fabric topology
+  /// (TopologySpec::ring_order): identity on ring/dual-ring — which keeps
+  /// every ring schedule bitwise identical to the pre-topology library —
+  /// and a boustrophedon walk on tori, so each logical-ring hop rides a
+  /// single cable instead of crossing the torus. ring_pos_ is the inverse
+  /// permutation.
+  [[nodiscard]] std::uint32_t ring_pos(std::uint32_t rank) const {
+    return ring_pos_[rank];
+  }
+  [[nodiscard]] std::uint32_t rank_at(std::uint32_t pos) const {
+    return ring_order_[pos % ranks_];
+  }
+  [[nodiscard]] std::uint32_t ring_next(std::uint32_t rank) const {
+    return rank_at(ring_pos_[rank] + 1);
+  }
+  [[nodiscard]] std::uint32_t ring_prev(std::uint32_t rank) const {
+    return rank_at(ring_pos_[rank] + ranks_ - 1);
+  }
+
   api::Runtime* rt_;
   CollConfig cfg_;
   std::uint32_t ranks_ = 0;
+  std::vector<std::uint32_t> ring_order_;
+  std::vector<std::uint32_t> ring_pos_;
   std::uint64_t slot_stride_ = 0;   ///< staging/bounce slot stride (256-aligned)
   std::uint64_t eager_slot_ = 0;    ///< mailbox slot stride (256-aligned)
   std::vector<RankState> states_;

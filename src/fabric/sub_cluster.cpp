@@ -11,6 +11,8 @@ using peach2::Peach2Config;
 using peach2::PortId;
 using peach2::RouteEntry;
 using peach2::TcaLayout;
+using peach2::torus_minus_port;
+using peach2::torus_plus_port;
 
 namespace {
 
@@ -41,19 +43,27 @@ pcie::LinkConfig cable_config(std::uint32_t from, std::uint32_t to,
 
 }  // namespace
 
+TopologySpec resolved_topology(const SubClusterConfig& config) {
+  if (!config.spec.empty()) return config.spec;
+  // One release of compatibility for the pre-TopologySpec enum surface.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  return TopologySpec::from_legacy(config.topology, config.node_count);
+#pragma GCC diagnostic pop
+}
+
 SubCluster::SubCluster(sim::Scheduler& sched, const SubClusterConfig& config)
-    : cfg_(config) {
+    : cfg_(config), topo_(resolved_topology(config)) {
+  const Status topo_ok = topo_.validate();
+  TCA_ASSERT(topo_ok.is_ok());
+  const std::uint32_t n = topo_.node_count();
   auto layout_result = TcaLayout::create(config.window_base,
-                                         config.window_bytes,
-                                         config.node_count);
+                                         config.window_bytes, n);
   TCA_ASSERT(layout_result.is_ok());
   layout_ = layout_result.value();
-  TCA_ASSERT(config.node_count >= 2);
-  TCA_ASSERT(config.topology != Topology::kDualRing ||
-             config.node_count >= 4);
 
-  for (std::uint32_t i = 0; i < config.node_count; ++i) {
-    auto& n = nodes_.emplace_back(std::make_unique<node::ComputeNode>(
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto& cn = nodes_.emplace_back(std::make_unique<node::ComputeNode>(
         sched, static_cast<int>(i), config.node_config));
 
     Peach2Config pcfg{
@@ -66,59 +76,207 @@ SubCluster::SubCluster(sim::Scheduler& sched, const SubClusterConfig& config)
         .local_host_base = node::layout::kHostBase,
     };
     auto& chip = chips_.emplace_back(std::make_unique<Peach2Chip>(sched, pcfg));
-    pcie::LinkPort& slot = n->attach_peach2_slot(
+    pcie::LinkPort& slot = cn->attach_peach2_slot(
         pcfg.device_id, node::layout::kPeach2RegBase,
         /*claim_tca_window=*/true);
     slot.set_shard(node_shard(sched, i));  // node-internal: same shard
     chip->attach_port(PortId::kNorth, slot);
     drivers_.emplace_back(
-        std::make_unique<driver::Peach2Driver>(*n, *chip));
+        std::make_unique<driver::Peach2Driver>(*cn, *chip));
   }
 
-  if (config.topology == Topology::kRing) {
-    wire_ring(sched, 0, config.node_count);
-    program_ring_routes(0, config.node_count);
-    ring_cable_up_.assign(cables_.size(), true);
-    if (config.enable_failover) arm_failover(sched);
-  } else {
-    const std::uint32_t half = config.node_count / 2;
+  plus_cable_.assign(n, {kNoCable, kNoCable, kNoCable});
+  minus_cable_.assign(n, {kNoCable, kNoCable, kNoCable});
+
+  if (topo_.kind() == TopologySpec::Kind::kDualRing) {
+    const std::uint32_t half = n / 2;
     wire_ring(sched, 0, half);
     wire_ring(sched, half, half);
     // South cross-links pair node i with node i + half.
     for (std::uint32_t i = 0; i < half; ++i) {
-      auto& cable = cables_.emplace_back(std::make_unique<pcie::PcieLink>(
-          sched, cable_config(i, i + half, cfg_.cable_bit_error_rate)));
-      cable_ends_.emplace_back(i, i + half);
-      cable->end_a().set_shard(node_shard(sched, i));
-      cable->end_b().set_shard(node_shard(sched, i + half));
-      chips_[i]->attach_port(PortId::kSouth, cable->end_a());
-      chips_[i + half]->attach_port(PortId::kSouth, cable->end_b());
+      add_cable(sched, i, i + half, 1, PortId::kSouth, PortId::kSouth);
     }
     program_dual_ring_routes();
+    cable_usable_.assign(cables_.size(), true);
+  } else {
+    wire_torus(sched);
+    program_torus_routes();
+    cable_usable_.assign(cables_.size(), true);
+    if (config.enable_failover) arm_failover(sched);
   }
 
   if (!config.fault_plan.empty()) schedule_faults(sched);
 }
 
+void SubCluster::add_cable(sim::Scheduler& sched, std::uint32_t from,
+                           std::uint32_t to, std::uint32_t dim,
+                           PortId from_port, PortId to_port) {
+  auto& cable = cables_.emplace_back(std::make_unique<pcie::PcieLink>(
+      sched, cable_config(from, to, cfg_.cable_bit_error_rate)));
+  const CableId id = cables_.size() - 1;
+  cable_ends_.emplace_back(from, to);
+  cable_dim_.push_back(dim);
+  cable->end_a().set_shard(node_shard(sched, from));
+  cable->end_b().set_shard(node_shard(sched, to));
+  chips_[from]->attach_port(from_port, cable->end_a());
+  chips_[to]->attach_port(to_port, cable->end_b());
+  if (from_port == torus_plus_port(dim)) plus_cable_[from][dim] = id;
+  if (to_port == torus_minus_port(dim)) minus_cable_[to][dim] = id;
+}
+
+void SubCluster::wire_ring(sim::Scheduler& sched, std::uint32_t first,
+                           std::uint32_t count) {
+  if (count < 2) return;
+  // A 2-node ring degenerates to two cables between the same pair of
+  // boards (E0-W1 and E1-W0), which is exactly how two PEACH2 boards are
+  // cabled back to back.
+  for (std::uint32_t k = 0; k < count; ++k) {
+    const std::uint32_t i = first + k;
+    const std::uint32_t j = first + (k + 1) % count;
+    add_cable(sched, i, j, 0, PortId::kEast, PortId::kWest);
+  }
+}
+
+void SubCluster::wire_torus(sim::Scheduler& sched) {
+  // One cable ring per dimension, dimension 0 first; rings within a
+  // dimension in ascending base-node order. For a 1D torus (and the ring
+  // topology) this is cable (k, k+1 % n) for k ascending — byte-identical
+  // to the paper's E/W ring wiring, names and error seeds included.
+  const std::uint32_t n = topo_.node_count();
+  for (std::uint32_t d = 0; d < topo_.dims(); ++d) {
+    const std::uint32_t extent = topo_.extent(d);
+    for (std::uint32_t base = 0; base < n; ++base) {
+      if (topo_.coords(base)[d] != 0) continue;
+      for (std::uint32_t k = 0; k < extent; ++k) {
+        auto ci = topo_.coords(base);
+        auto cj = ci;
+        ci[d] = k;
+        cj[d] = (k + 1) % extent;
+        add_cable(sched, topo_.node_at(ci), topo_.node_at(cj), d,
+                  torus_plus_port(d), torus_minus_port(d));
+      }
+    }
+  }
+}
+
+void SubCluster::program_torus_routes() {
+  // Dimension-order routing from the highest dimension down, compressed to
+  // address-range entries (Fig. 5): destinations in a wrong plane of the
+  // top dimension occupy one contiguous id range (one entry), wrong rows of
+  // the right plane another, and only same-row targets need single-slice
+  // entries — sum(extent_d - 1) entries per node. First-match order places
+  // the high-dimension ranges first, which is exactly dimension order.
+  const std::uint64_t slice = layout_.slice_size();
+  const std::uint32_t n = topo_.node_count();
+  for (std::uint32_t a = 0; a < n; ++a) {
+    const auto ca = topo_.coords(a);
+    std::size_t entry_index = 0;
+    for (std::uint32_t d = topo_.dims(); d-- > 0;) {
+      const std::uint32_t extent = topo_.extent(d);
+      for (std::uint32_t t = 0; t < extent; ++t) {
+        if (t == ca[d]) continue;
+        // Range: higher dims fixed to our own coordinates, dim d at t,
+        // lower dims spanning their full extent. Ids are linearized x
+        // fastest, so the covered destinations are contiguous.
+        auto lo = ca;
+        auto hi = ca;
+        lo[d] = hi[d] = t;
+        for (std::uint32_t l = 0; l < d; ++l) {
+          lo[l] = 0;
+          hi[l] = topo_.extent(l) - 1;
+        }
+        const std::uint32_t plus = (t + extent - ca[d]) % extent;
+        const std::uint32_t minus = (ca[d] + extent - t) % extent;
+        const PortId port =
+            plus <= minus ? torus_plus_port(d) : torus_minus_port(d);
+        const Status st = chips_[a]->routing().add(RouteEntry{
+            .mask = ~(slice - 1),
+            .lower = layout_.slice_base(topo_.node_at(lo)),
+            .upper = layout_.slice_base(topo_.node_at(hi)),
+            .port = port,
+        });
+        TCA_ASSERT(st.is_ok());
+        route_records_.push_back(RouteRecord{a, d, t, entry_index++});
+      }
+    }
+  }
+}
+
+void SubCluster::program_ring_routes(std::uint32_t first,
+                                     std::uint32_t count) {
+  const std::uint64_t slice = layout_.slice_size();
+  for (std::uint32_t a = 0; a < count; ++a) {
+    for (std::uint32_t b = 0; b < count; ++b) {
+      if (a == b) continue;
+      const std::uint32_t cw = (b + count - a) % count;   // hops going East
+      const std::uint32_t ccw = (a + count - b) % count;  // hops going West
+      const PortId port = cw <= ccw ? PortId::kEast : PortId::kWest;
+      const Status st = chips_[first + a]->routing().add(RouteEntry{
+          .mask = ~(slice - 1),
+          .lower = layout_.slice_base(first + b),
+          .upper = layout_.slice_base(first + b),
+          .port = port,
+      });
+      TCA_ASSERT(st.is_ok());
+    }
+  }
+}
+
+void SubCluster::program_dual_ring_routes() {
+  const std::uint32_t half = topo_.node_count() / 2;
+  const std::uint64_t slice = layout_.slice_size();
+  program_ring_routes(0, half);
+  program_ring_routes(half, half);
+  // Destinations in the other ring: cross at the paired node first, then
+  // ride that ring. Each node needs an S entry for every cross-ring slice;
+  // the ring entries at the far side take over after the hop.
+  for (std::uint32_t i = 0; i < topo_.node_count(); ++i) {
+    const bool in_first = i < half;
+    const std::uint32_t p = i % half;  // position within own ring
+    const std::uint32_t other_base = in_first ? half : 0;
+    for (std::uint32_t q = 0; q < half; ++q) {
+      const std::uint32_t dest = other_base + q;
+      // Cross South at the node that pairs with the destination: if we are
+      // at the pairing position, hop rings; otherwise ride our ring toward
+      // that position (shortest direction).
+      PortId port;
+      if (p == q) {
+        port = PortId::kSouth;
+      } else {
+        const std::uint32_t cw = (q + half - p) % half;
+        const std::uint32_t ccw = (p + half - q) % half;
+        port = cw <= ccw ? PortId::kEast : PortId::kWest;
+      }
+      const Status st = chips_[i]->routing().add(RouteEntry{
+          .mask = ~(slice - 1),
+          .lower = layout_.slice_base(dest),
+          .upper = layout_.slice_base(dest),
+          .port = port,
+      });
+      TCA_ASSERT(st.is_ok());
+    }
+  }
+}
+
 void SubCluster::arm_failover(sim::Scheduler& sched) {
-  // Ring cable k joins node k (East end) to node (k+1) % n (West end), so
-  // node i's East port maps to cable i and its West port to cable i-1. Both
-  // endpoints report each transition; the first serviced one reroutes.
-  const std::uint32_t n = cfg_.node_count;
+  // Every fabric port maps to exactly one cable per the plus/minus tables
+  // built during wiring; both endpoints report each transition and the
+  // first serviced one reroutes. Reroutes stay within the dead cable's
+  // dimension ring — the address ranges the entries cover are fixed at
+  // construction, only their ports ever flip.
+  const std::uint32_t n = topo_.node_count();
   for (std::uint32_t i = 0; i < n; ++i) {
     chips_[i]->nios().set_link_listener(
-        [this, i, n, &sched](PortId port, bool up) {
-          std::size_t cable;
-          if (port == PortId::kEast) {
-            cable = i;
-          } else if (port == PortId::kWest) {
-            cable = (i + n - 1) % n;
-          } else {
-            return;  // N (host slot) and S (no cable in kRing)
+        [this, i, &sched](PortId port, bool up) {
+          CableId cable = kNoCable;
+          for (std::uint32_t d = 0; d < topo_.dims(); ++d) {
+            if (port == torus_plus_port(d)) cable = plus_cable_[i][d];
+            if (port == torus_minus_port(d)) cable = minus_cable_[i][d];
           }
-          if (ring_cable_up_[cable] == up) return;  // peer already serviced
-          ring_cable_up_[cable] = up;
-          const std::uint32_t changed = reprogram_ring_routes();
+          if (cable == kNoCable) return;  // N (host slot) or unwired port
+          if (cable_usable_[cable] == up) return;  // peer already serviced
+          cable_usable_[cable] = up;
+          const std::uint32_t changed = reprogram_routes();
           if (changed == 0) return;
           up ? ++failbacks_ : ++failovers_;
           Log::write(LogLevel::kInfo, "fabric",
@@ -136,43 +294,46 @@ void SubCluster::arm_failover(sim::Scheduler& sched) {
   }
 }
 
-std::uint32_t SubCluster::reprogram_ring_routes() {
-  const std::uint32_t n = cfg_.node_count;
+CableId SubCluster::ring_cable_at(std::uint32_t node, std::uint32_t dim,
+                                  std::uint32_t coord) const {
+  auto c = topo_.coords(node);
+  c[dim] = coord;
+  return plus_cable_[topo_.node_at(c)][dim];
+}
+
+std::uint32_t SubCluster::reprogram_routes() {
   std::uint32_t changed = 0;
-  for (std::uint32_t a = 0; a < n; ++a) {
-    peach2::RoutingTable& table = chips_[a]->routing();
-    for (std::uint32_t b = 0; b < n; ++b) {
-      if (a == b) continue;
-      const std::uint32_t cw = (b + n - a) % n;   // hops going East
-      const std::uint32_t ccw = (a + n - b) % n;  // hops going West
-      bool cw_clean = true, ccw_clean = true;
-      for (std::uint32_t h = 0; h < cw; ++h) {
-        cw_clean = cw_clean && ring_cable_up_[(a + h) % n];
-      }
-      for (std::uint32_t h = 0; h < ccw; ++h) {
-        ccw_clean = ccw_clean && ring_cable_up_[(a + n - 1 - h) % n];
-      }
-      // Shortest path when both directions are clean — and also when both
-      // are dirty: with no usable detour, traffic is held in the replay
-      // buffer of the shortest direction, the pre-failover behavior.
-      PortId port;
-      if (cw_clean == ccw_clean) {
-        port = cw <= ccw ? PortId::kEast : PortId::kWest;
-      } else {
-        port = cw_clean ? PortId::kEast : PortId::kWest;
-      }
-      // Rewrite the Fig. 5 register for destination b (matched by its
-      // slice's lower bound — route order is stable after construction).
-      const std::uint64_t lower = layout_.slice_base(b);
-      for (std::size_t e = 0; e < table.size(); ++e) {
-        RouteEntry& entry = table.entry_mut(e);
-        if (entry.lower != lower) continue;
-        if (entry.port != port) {
-          entry.port = port;
-          ++changed;
-        }
-        break;
-      }
+  for (const RouteRecord& r : route_records_) {
+    const auto c = topo_.coords(r.node);
+    const std::uint32_t extent = topo_.extent(r.dim);
+    const std::uint32_t own = c[r.dim];
+    const std::uint32_t plus = (r.target + extent - own) % extent;
+    const std::uint32_t minus = (own + extent - r.target) % extent;
+    bool plus_clean = true, minus_clean = true;
+    for (std::uint32_t h = 0; h < plus; ++h) {
+      plus_clean = plus_clean &&
+                   cable_usable_[ring_cable_at(r.node, r.dim,
+                                               (own + h) % extent)];
+    }
+    for (std::uint32_t h = 0; h < minus; ++h) {
+      minus_clean = minus_clean &&
+                    cable_usable_[ring_cable_at(r.node, r.dim,
+                                                (own + extent - 1 - h) %
+                                                    extent)];
+    }
+    // Shortest path when both directions are clean — and also when both
+    // are dirty: with no usable detour, traffic is held in the replay
+    // buffer of the shortest direction, the pre-failover behavior.
+    PortId port;
+    if (plus_clean == minus_clean) {
+      port = plus <= minus ? torus_plus_port(r.dim) : torus_minus_port(r.dim);
+    } else {
+      port = plus_clean ? torus_plus_port(r.dim) : torus_minus_port(r.dim);
+    }
+    RouteEntry& entry = chips_[r.node]->routing().entry_mut(r.entry_index);
+    if (entry.port != port) {
+      entry.port = port;
+      ++changed;
     }
   }
   return changed;
@@ -181,7 +342,7 @@ std::uint32_t SubCluster::reprogram_ring_routes() {
 void SubCluster::schedule_faults(sim::Scheduler& sched) {
   cable_down_depth_.assign(cables_.size(), 0);
   cable_ber_depth_.assign(cables_.size(), 0);
-  dmac_stuck_depth_.assign(cfg_.node_count * calib::kDmaChannels, 0);
+  dmac_stuck_depth_.assign(size() * calib::kDmaChannels, 0);
 
   for (const FaultEvent& e : cfg_.fault_plan.events) {
     switch (e.kind) {
@@ -223,7 +384,7 @@ void SubCluster::schedule_faults(sim::Scheduler& sched) {
         break;
       }
       case FaultEvent::Kind::kStuckDoorbell: {
-        TCA_ASSERT(e.node < cfg_.node_count);
+        TCA_ASSERT(e.node < size());
         TCA_ASSERT(e.channel >= 0 && e.channel < calib::kDmaChannels);
         const std::size_t idx =
             e.node * calib::kDmaChannels + static_cast<std::size_t>(e.channel);
@@ -241,81 +402,6 @@ void SubCluster::schedule_faults(sim::Scheduler& sched) {
         });
         break;
       }
-    }
-  }
-}
-
-void SubCluster::wire_ring(sim::Scheduler& sched, std::uint32_t first,
-                           std::uint32_t count) {
-  if (count < 2) return;
-  // A 2-node ring degenerates to two cables between the same pair of
-  // boards (E0-W1 and E1-W0), which is exactly how two PEACH2 boards are
-  // cabled back to back.
-  for (std::uint32_t k = 0; k < count; ++k) {
-    const std::uint32_t i = first + k;
-    const std::uint32_t j = first + (k + 1) % count;
-    auto& cable = cables_.emplace_back(
-        std::make_unique<pcie::PcieLink>(sched, cable_config(i, j, cfg_.cable_bit_error_rate)));
-    cable_ends_.emplace_back(i, j);
-    cable->end_a().set_shard(node_shard(sched, i));
-    cable->end_b().set_shard(node_shard(sched, j));
-    chips_[i]->attach_port(PortId::kEast, cable->end_a());
-    chips_[j]->attach_port(PortId::kWest, cable->end_b());
-  }
-}
-
-void SubCluster::program_ring_routes(std::uint32_t first,
-                                     std::uint32_t count) {
-  const std::uint64_t slice = layout_.slice_size();
-  for (std::uint32_t a = 0; a < count; ++a) {
-    for (std::uint32_t b = 0; b < count; ++b) {
-      if (a == b) continue;
-      const std::uint32_t cw = (b + count - a) % count;   // hops going East
-      const std::uint32_t ccw = (a + count - b) % count;  // hops going West
-      const PortId port = cw <= ccw ? PortId::kEast : PortId::kWest;
-      const Status st = chips_[first + a]->routing().add(RouteEntry{
-          .mask = ~(slice - 1),
-          .lower = layout_.slice_base(first + b),
-          .upper = layout_.slice_base(first + b),
-          .port = port,
-      });
-      TCA_ASSERT(st.is_ok());
-    }
-  }
-}
-
-void SubCluster::program_dual_ring_routes() {
-  const std::uint32_t half = cfg_.node_count / 2;
-  const std::uint64_t slice = layout_.slice_size();
-  program_ring_routes(0, half);
-  program_ring_routes(half, half);
-  // Destinations in the other ring: cross at the paired node first, then
-  // ride that ring. Each node needs an S entry for every cross-ring slice;
-  // the ring entries at the far side take over after the hop.
-  for (std::uint32_t i = 0; i < cfg_.node_count; ++i) {
-    const bool in_first = i < half;
-    const std::uint32_t p = i % half;  // position within own ring
-    const std::uint32_t other_base = in_first ? half : 0;
-    for (std::uint32_t q = 0; q < half; ++q) {
-      const std::uint32_t dest = other_base + q;
-      // Cross South at the node that pairs with the destination: if we are
-      // at the pairing position, hop rings; otherwise ride our ring toward
-      // that position (shortest direction).
-      PortId port;
-      if (p == q) {
-        port = PortId::kSouth;
-      } else {
-        const std::uint32_t cw = (q + half - p) % half;
-        const std::uint32_t ccw = (p + half - q) % half;
-        port = cw <= ccw ? PortId::kEast : PortId::kWest;
-      }
-      const Status st = chips_[i]->routing().add(RouteEntry{
-          .mask = ~(slice - 1),
-          .lower = layout_.slice_base(dest),
-          .upper = layout_.slice_base(dest),
-          .port = port,
-      });
-      TCA_ASSERT(st.is_ok());
     }
   }
 }
@@ -371,8 +457,8 @@ void SubCluster::export_metrics(obs::MetricRegistry& reg) const {
   std::uint64_t dma_chains = 0, dma_written = 0, dma_read = 0, dma_errors = 0;
   std::uint64_t error_irqs = 0, dma_aborts = 0, dma_timeouts = 0;
   std::uint64_t wd_timeouts = 0, drv_retries = 0;
-  static constexpr const char* kPortNames[peach2::kPortCount] = {"n", "e", "w",
-                                                                 "s"};
+  static constexpr const char* kPortNames[peach2::kPortCount] = {
+      "n", "e", "w", "s", "yn", "zp", "zn"};
   for (std::uint32_t i = 0; i < size(); ++i) {
     const std::string n = "node" + std::to_string(i);
     const Peach2Chip& chip = *chips_[i];
@@ -457,14 +543,6 @@ void SubCluster::export_metrics(obs::MetricRegistry& reg) const {
   reg.counter("fabric.error_irqs").set(error_irqs);
   reg.counter("fabric.driver.watchdog_timeouts").set(wd_timeouts);
   reg.counter("fabric.driver.retries").set(drv_retries);
-}
-
-std::uint32_t SubCluster::ring_hops(std::uint32_t from,
-                                    std::uint32_t to) const {
-  const std::uint32_t n = size();
-  const std::uint32_t cw = (to + n - from) % n;
-  const std::uint32_t ccw = (from + n - to) % n;
-  return std::min(cw, ccw);
 }
 
 }  // namespace tca::fabric

@@ -1,12 +1,15 @@
 // TCA sub-cluster builder (Sections II-B, III-E).
 //
-// Assembles N compute nodes, one PEACH2 board each, wires the boards into a
-// ring over their East/West ports (optionally two rings coupled by the South
-// ports), programs every chip's routing registers per Fig. 5, and
-// instantiates a driver per node. "The basic unit is the sub-cluster, which
-// consists of eight to 16 nodes" — the builder accepts 2..16 (power of two).
+// Assembles N compute nodes, one PEACH2 board each, wires the boards into
+// the requested topology — the paper's E/W ring, two rings coupled by the
+// South ports, or a 1D/2D/3D torus with one cable ring per dimension —
+// programs every chip's routing registers per Fig. 5 (dimension-order for
+// tori, compressed to contiguous address-range entries), and instantiates a
+// driver per node. A 1D torus is wired, routed, and traced byte-identically
+// to the ring.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <utility>
@@ -15,6 +18,7 @@
 #include "calib/calibration.h"
 #include "driver/peach2_driver.h"
 #include "fabric/fault_plan.h"
+#include "fabric/topology.h"
 #include "node/compute_node.h"
 #include "obs/metrics.h"
 #include "peach2/chip.h"
@@ -24,17 +28,14 @@
 
 namespace tca::fabric {
 
-enum class Topology {
-  /// Single ring over E/W ports (the paper's primary configuration).
-  kRing,
-  /// Two rings of N/2 nodes, coupled pairwise by the S ports ("Port S is
-  /// ... used to combine two rings by connecting to Port S on the peer
-  /// node"). Requires node_count >= 4.
-  kDualRing,
-};
-
 struct SubClusterConfig {
-  std::uint32_t node_count = 2;  ///< power of two, 2..16
+  /// Preferred topology description (see fabric::TopologySpec). When left
+  /// empty the deprecated node_count/topology pair below is resolved
+  /// through TopologySpec::from_legacy.
+  TopologySpec spec;
+  [[deprecated("set SubClusterConfig::spec instead")]]
+  std::uint32_t node_count = 2;
+  [[deprecated("set SubClusterConfig::spec instead")]]
   Topology topology = Topology::kRing;
   node::NodeConfig node_config;
   std::uint64_t window_base = calib::kTcaWindowBase;
@@ -45,14 +46,21 @@ struct SubClusterConfig {
   /// Deterministic fault schedule applied at construction (cable flaps, BER
   /// bursts, stuck doorbells). Event times are relative to construction.
   FaultPlan fault_plan;
-  /// Ring failover: when the NIOS firmware services a ring-cable-down event,
+  /// Route failover: when the NIOS firmware services a cable-down event,
   /// rewrite the address-range routing registers (the Fig. 5 mechanism) so
-  /// traffic steers the other way around the ring; restore the shortest-path
-  /// tables on link-up. kRing topology only. When every usable direction is
-  /// dead (a full-fabric outage) routes are left alone and traffic is held
-  /// in the replay buffers, exactly as with failover disabled.
+  /// traffic steers the other way around the affected ring — the whole ring
+  /// for kRing, the dead cable's dimension ring for a torus — and restore
+  /// the shortest-path tables on link-up. Ring and torus topologies only.
+  /// When every usable direction is dead (a full-ring outage in that
+  /// dimension) routes are left alone and traffic is held in the replay
+  /// buffers, exactly as with failover disabled.
   bool enable_failover = true;
 };
+
+/// The topology a config resolves to: `spec` when set, otherwise the legacy
+/// enum fields. Lives out-of-line so the deprecated-field read is confined
+/// to one audited spot.
+[[nodiscard]] TopologySpec resolved_topology(const SubClusterConfig& config);
 
 class SubCluster {
  public:
@@ -67,6 +75,8 @@ class SubCluster {
   }
   [[nodiscard]] const peach2::TcaLayout& layout() const { return layout_; }
   [[nodiscard]] const SubClusterConfig& config() const { return cfg_; }
+  /// The resolved topology this fabric was built as.
+  [[nodiscard]] const TopologySpec& topology() const { return topo_; }
 
   [[nodiscard]] node::ComputeNode& node(std::uint32_t i) {
     return *nodes_.at(i);
@@ -91,10 +101,19 @@ class SubCluster {
                           offset);
   }
 
-  /// Ring hop count from node `from` to node `to` (shortest direction),
-  /// as the routing tables will steer it.
+  /// Hop count from node `from` to node `to` as the routing tables steer
+  /// it: shortest ring direction for rings, the per-dimension ring
+  /// distances summed for tori (dimension-order routing).
+  [[nodiscard]] std::uint32_t hops(std::uint32_t from,
+                                   std::uint32_t to) const {
+    return topo_.hops(from, to);
+  }
+
+  [[deprecated("use hops()")]]
   [[nodiscard]] std::uint32_t ring_hops(std::uint32_t from,
-                                        std::uint32_t to) const;
+                                        std::uint32_t to) const {
+    return topo_.hops(from, to);
+  }
 
   /// Fault injection: takes every inter-node cable down (or back up).
   /// Host-to-chip slot links are untouched — the Section V property that
@@ -111,44 +130,84 @@ class SubCluster {
   /// stats dump; serialize with MetricRegistry::to_json().
   void export_metrics(obs::MetricRegistry& reg) const;
 
-  /// Number of inter-node cables (ring + optional South cross-links).
+  /// Number of inter-node cables (dimension rings + optional South
+  /// cross-links).
   [[nodiscard]] std::size_t cable_count() const { return cables_.size(); }
   /// Cable `k` and the (from, to) node pair it connects; end_a is `from`.
-  [[nodiscard]] const pcie::PcieLink& cable(std::size_t k) const {
+  [[nodiscard]] const pcie::PcieLink& cable(CableId k) const {
     return *cables_.at(k);
   }
   [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> cable_nodes(
-      std::size_t k) const {
+      CableId k) const {
     return cable_ends_.at(k);
   }
+  /// Torus dimension cable `k` runs along (0 for ring cables; the South
+  /// cross-links of the dual ring report dimension 1).
+  [[nodiscard]] std::uint32_t cable_dim(CableId k) const {
+    return cable_dim_.at(k);
+  }
 
-  /// Firmware's view of ring cable `k` (false once a NIOS has serviced its
-  /// down event; the routing tables reflect this view, not the wire state).
-  [[nodiscard]] bool ring_cable_usable(std::size_t k) const {
-    return ring_cable_up_.at(k);
+  /// Firmware's view of cable `k` (false once a NIOS has serviced its down
+  /// event; the routing tables reflect this view, not the wire state).
+  [[nodiscard]] bool cable_usable(CableId k) const {
+    return cable_usable_.at(k);
+  }
+
+  [[deprecated("use cable_usable()")]]
+  [[nodiscard]] bool ring_cable_usable(CableId k) const {
+    return cable_usable_.at(k);
   }
 
   /// Reroute events: failovers_ counts down-transitions that changed at
-  /// least one routing entry; failbacks_ counts up-transitions that restored
-  /// entries. Zero unless enable_failover and topology == kRing.
+  /// least one routing entry; failbacks_ counts up-transitions that
+  /// restored entries. Zero unless enable_failover and the topology is a
+  /// ring or torus.
   [[nodiscard]] std::uint64_t failovers() const { return failovers_; }
   [[nodiscard]] std::uint64_t failbacks() const { return failbacks_; }
 
  private:
+  /// One programmed route register and the torus range it steers: node
+  /// `node`'s entry `entry_index` covers every destination whose dimension
+  /// `dim` coordinate is `target` (higher dims equal to the node's own,
+  /// lower dims arbitrary). Failover recomputes ports from these records —
+  /// the ranges themselves never change shape after construction.
+  struct RouteRecord {
+    std::uint32_t node;
+    std::uint32_t dim;
+    std::uint32_t target;
+    std::size_t entry_index;
+  };
+
   void wire_ring(sim::Scheduler& sched, std::uint32_t first,
                  std::uint32_t count);
+  /// Wires one cable ring per torus dimension (dimension 0 first; for a 1D
+  /// torus/ring this produces the exact cable order of wire_ring(0, n)).
+  void wire_torus(sim::Scheduler& sched);
+  void add_cable(sim::Scheduler& sched, std::uint32_t from, std::uint32_t to,
+                 std::uint32_t dim, peach2::PortId from_port,
+                 peach2::PortId to_port);
+  /// Programs dimension-order routes for ring/torus topologies and records
+  /// a RouteRecord per entry.
+  void program_torus_routes();
   void program_ring_routes(std::uint32_t first, std::uint32_t count);
   void program_dual_ring_routes();
 
-  /// Installs the NIOS link listeners that drive ring failover.
+  /// Installs the NIOS link listeners that drive route failover.
   void arm_failover(sim::Scheduler& sched);
   /// Schedules every FaultPlan event onto `sched`.
   void schedule_faults(sim::Scheduler& sched);
-  /// Rewrites every node's ring routes honoring ring_cable_up_; returns the
-  /// number of route entries whose port changed.
-  std::uint32_t reprogram_ring_routes();
+  /// Rewrites every recorded route honoring cable_usable_; returns the
+  /// number of route entries whose port changed. Only ports within the
+  /// affected dimension's rings ever flip — dimension-order ranges are
+  /// direction-agnostic by construction.
+  std::uint32_t reprogram_routes();
+  /// Cable carrying traffic from the node at coordinate `coord` toward
+  /// coordinate + 1 inside the dimension-`dim` ring through node `node`.
+  [[nodiscard]] CableId ring_cable_at(std::uint32_t node, std::uint32_t dim,
+                                      std::uint32_t coord) const;
 
   SubClusterConfig cfg_;
+  TopologySpec topo_;
   peach2::TcaLayout layout_;
   std::vector<std::unique_ptr<node::ComputeNode>> nodes_;
   std::vector<std::unique_ptr<peach2::Peach2Chip>> chips_;
@@ -156,10 +215,19 @@ class SubCluster {
   std::vector<std::unique_ptr<pcie::PcieLink>> cables_;
   /// (from, to) node ids per cable, parallel to cables_; end_a is `from`.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> cable_ends_;
+  /// Torus dimension each cable runs along, parallel to cables_.
+  std::vector<std::uint32_t> cable_dim_;
+  /// Per node and dimension: the cable on the node's plus side (whose
+  /// end_a is this node). kNoCable where unwired.
+  static constexpr CableId kNoCable = static_cast<CableId>(-1);
+  std::vector<std::array<CableId, TopologySpec::kMaxDims>> plus_cable_;
+  std::vector<std::array<CableId, TopologySpec::kMaxDims>> minus_cable_;
 
-  /// Failover state (kRing only): firmware-serviced view of each ring cable
-  /// (cable k joins nodes k and (k+1) % n, node k's East port).
-  std::vector<bool> ring_cable_up_;
+  /// Dimension-order route records for failover rewrites (ring/torus).
+  std::vector<RouteRecord> route_records_;
+
+  /// Failover state: firmware-serviced view of each inter-node cable.
+  std::vector<bool> cable_usable_;
   std::uint64_t failovers_ = 0;
   std::uint64_t failbacks_ = 0;
 

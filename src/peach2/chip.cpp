@@ -21,6 +21,9 @@ static_assert(regs::kDmaChannelBanks ==
 static_assert(regs::kRouteEntries == RoutingTable::kCapacity,
               "registers.h route-entry count must match "
               "RoutingTable::kCapacity");
+static_assert(regs::kLinkStatusBase + 8 * kPortCount <= regs::kNiosEventCount,
+              "per-port link-status words must not shadow the NIOS "
+              "telemetry registers");
 
 namespace {
 constexpr std::size_t idx(PortId port) { return static_cast<std::size_t>(port); }

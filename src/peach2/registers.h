@@ -122,17 +122,18 @@ inline constexpr std::uint64_t kRouteUpper = 0x10;  // RW bank:route
 inline constexpr std::uint64_t kRoutePort = 0x18;   // RW bank:route
 
 // -- NIOS management processor ----------------------------------------------
-// Link status per port (N/E/W/S), maintained by the management firmware.
-inline constexpr std::uint64_t kLinkStatusBase = 0xc00;  // RO span:32: + 8*port
+// Link status per port (N/E/W/S/Y-/Z+/Z-), maintained by the management
+// firmware. One 64-bit word per physical port (7 in the torus build).
+inline constexpr std::uint64_t kLinkStatusBase = 0xc00;  // RO span:56: + 8*port
 inline constexpr std::uint64_t kLinkUp = 1;
 inline constexpr std::uint64_t kLinkDown = 0;
 
 // Firmware telemetry and the management-command mailbox.
-inline constexpr std::uint64_t kNiosEventCount = 0xc20;  // RO
-inline constexpr std::uint64_t kNiosUptime = 0xc28;      // RO: nanoseconds
-inline constexpr std::uint64_t kNiosCmd = 0xc30;         // WO
-inline constexpr std::uint64_t kNiosPingCount = 0xc38;   // RO
-inline constexpr std::uint64_t kNiosLastEvent = 0xc40;   // RO: port | up<<8
+inline constexpr std::uint64_t kNiosEventCount = 0xc40;  // RO
+inline constexpr std::uint64_t kNiosUptime = 0xc48;      // RO: nanoseconds
+inline constexpr std::uint64_t kNiosCmd = 0xc50;         // WO
+inline constexpr std::uint64_t kNiosPingCount = 0xc58;   // RO
+inline constexpr std::uint64_t kNiosLastEvent = 0xc60;   // RO: port | up<<8
 
 /// Register window size (must fit in the BAR claimed by the node).
 inline constexpr std::uint64_t kWindowBytes = 64 << 10;
@@ -168,7 +169,7 @@ inline constexpr RegSpec kRegMap[] = {
     {kErrStatus, RegAccess::kRO, RegBank::kGlobal, "kErrStatus"},
     {kErrMask, RegAccess::kRW, RegBank::kGlobal, "kErrMask"},
     {kErrAck, RegAccess::kWO, RegBank::kGlobal, "kErrAck"},
-    {kLinkStatusBase, RegAccess::kRO, RegBank::kGlobal, "kLinkStatusBase", 32},
+    {kLinkStatusBase, RegAccess::kRO, RegBank::kGlobal, "kLinkStatusBase", 56},
     {kNiosEventCount, RegAccess::kRO, RegBank::kGlobal, "kNiosEventCount"},
     {kNiosUptime, RegAccess::kRO, RegBank::kGlobal, "kNiosUptime"},
     {kNiosCmd, RegAccess::kWO, RegBank::kGlobal, "kNiosCmd"},

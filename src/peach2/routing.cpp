@@ -8,6 +8,9 @@ const char* to_string(PortId port) {
     case PortId::kEast: return "E";
     case PortId::kWest: return "W";
     case PortId::kSouth: return "S";
+    case PortId::kYNeg: return "Y-";
+    case PortId::kZPos: return "Z+";
+    case PortId::kZNeg: return "Z-";
     case PortId::kInternal: return "INT";
   }
   return "?";

@@ -17,16 +17,31 @@
 
 namespace tca::peach2 {
 
-/// The four PCIe ports of the chip plus the internal destination (DMAC /
-/// internal RAM / register mailbox).
+/// The PCIe ports of the chip plus the internal destination (DMAC /
+/// internal RAM / register mailbox). The paper's board exposes N/E/W/S;
+/// the torus build stuffs three more cable ports onto the expansion
+/// mezzanine so each dimension gets a +/- pair: E/W serve X, S/Y- serve Y,
+/// Z+/Z- serve Z. Ring topologies leave ports 3..6 (or 4..6) unattached.
 enum class PortId : std::uint8_t {
   kNorth = 0,  ///< to the host CPU (always)
-  kEast = 1,   ///< ring, fixed EP role
-  kWest = 2,   ///< ring, fixed RC role
-  kSouth = 3,  ///< ring-coupling port, role selectable (RC or EP)
-  kInternal = 4,
+  kEast = 1,   ///< ring / torus X+, fixed EP role
+  kWest = 2,   ///< ring / torus X-, fixed RC role
+  kSouth = 3,  ///< ring-coupling port / torus Y+, role selectable
+  kYNeg = 4,   ///< torus Y-
+  kZPos = 5,   ///< torus Z+
+  kZNeg = 6,   ///< torus Z-
+  kInternal = 7,
 };
-inline constexpr std::size_t kPortCount = 4;  // physical PCIe ports
+inline constexpr std::size_t kPortCount = 7;  // physical PCIe ports
+
+/// Cable ports serving torus dimension `dim` (0 = X, 1 = Y, 2 = Z) in the
+/// increasing / decreasing coordinate direction.
+constexpr PortId torus_plus_port(std::uint32_t dim) {
+  return dim == 0 ? PortId::kEast : dim == 1 ? PortId::kSouth : PortId::kZPos;
+}
+constexpr PortId torus_minus_port(std::uint32_t dim) {
+  return dim == 0 ? PortId::kWest : dim == 1 ? PortId::kYNeg : PortId::kZNeg;
+}
 
 const char* to_string(PortId port);
 

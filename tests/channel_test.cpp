@@ -21,7 +21,7 @@ using units::us;
 struct Rig {
   Rig(std::uint32_t nodes = 2)
       : cluster(sched, SubClusterConfig{
-                           .node_count = nodes,
+                           .spec = fabric::TopologySpec::ring(nodes),
                            .node_config = {.gpu_count = 2,
                                            .host_backing_bytes = 16 << 20,
                                            .gpu_backing_bytes = 4 << 20}}) {
@@ -228,7 +228,7 @@ TEST(Channels, ConcurrentMemcpyPeerFromOneNodeViaApi) {
   // channels.
   sim::Scheduler sched;
   api::Runtime rt(sched,
-                  api::TcaConfig{.node_count = 2,
+                  api::TcaConfig{.spec = fabric::TopologySpec::ring(2),
                                  .node_config = {.gpu_count = 2,
                                                  .host_backing_bytes =
                                                      16ull << 20,

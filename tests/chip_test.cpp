@@ -27,7 +27,7 @@ class PortProbe : public pcie::TlpSink {
   std::vector<pcie::Tlp> received;
 };
 
-/// A chip with all four ports on probe links.
+/// A chip with every physical port on a probe link.
 struct ChipRig {
   explicit ChipRig(sim::Scheduler& sched, std::uint32_t node_id = 0)
       : layout(TcaLayout::create(1ull << 40, 1ull << 39, 4).value()) {
@@ -253,11 +253,11 @@ TEST(Chip, ForwardingPreservesOrderWithinAPort) {
 TEST(Chip, NiosSeesAttachAndTransitions) {
   sim::Scheduler sched;
   ChipRig rig(sched, 0);
-  EXPECT_EQ(rig.chip->nios().event_count(), 4u);  // four attach events
+  EXPECT_EQ(rig.chip->nios().event_count(), kPortCount);  // attach events
 
   rig.links[1]->set_up(false);  // East down
   sched.run_for(NiosController::kServiceDelay + ns(10));
-  EXPECT_EQ(rig.chip->nios().event_count(), 5u);
+  EXPECT_EQ(rig.chip->nios().event_count(), kPortCount + 1);
   EXPECT_FALSE(rig.chip->nios().link_view(PortId::kEast));
   const std::uint64_t last = rig.chip->read_register(r::kNiosLastEvent);
   EXPECT_EQ(last & 0xff, static_cast<std::uint64_t>(PortId::kEast));

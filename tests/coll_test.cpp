@@ -31,7 +31,7 @@ using units::ms;
 using units::us;
 
 api::TcaConfig cluster_of(std::uint32_t nodes) {
-  return api::TcaConfig{.node_count = nodes,
+  return api::TcaConfig{.spec = fabric::TopologySpec::ring(nodes),
                         .node_config = {.gpu_count = 2,
                                         .host_backing_bytes = 16 << 20,
                                         .gpu_backing_bytes = 8 << 20}};
@@ -639,7 +639,7 @@ TEST(Recovery, CollAllreduceSurvivesRingCableCutViaFailover) {
   }
 
   // The collective recovered the long way around the ring...
-  EXPECT_FALSE(rt.cluster().ring_cable_usable(0));
+  EXPECT_FALSE(rt.cluster().cable_usable(0));
   EXPECT_GE(rt.cluster().failovers(), 1u);
   EXPECT_GE(comm.value().metrics().put_retries, 1u);
 

@@ -20,7 +20,7 @@ using units::us;
 struct Rig {
   Rig()
       : cluster(sched, SubClusterConfig{
-                           .node_count = 2,
+                           .spec = fabric::TopologySpec::ring(2),
                            .node_config = {.gpu_count = 2,
                                            .host_backing_bytes = 8 << 20,
                                            .gpu_backing_bytes = 4 << 20}}) {}

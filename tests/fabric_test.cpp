@@ -22,8 +22,7 @@ using units::us;
 SubClusterConfig small_cluster(std::uint32_t nodes,
                                Topology topo = Topology::kRing) {
   return SubClusterConfig{
-      .node_count = nodes,
-      .topology = topo,
+      .spec = TopologySpec::from_legacy(topo, nodes),
       .node_config = {.gpu_count = 2,
                       .host_backing_bytes = 8 << 20,
                       .gpu_backing_bytes = 4 << 20},
@@ -50,8 +49,8 @@ TEST(SubCluster, BuildsRingWithRoutes) {
     EXPECT_TRUE(tca.chip(i).link_up(peach2::PortId::kWest));
     EXPECT_FALSE(tca.chip(i).link_up(peach2::PortId::kSouth));
   }
-  EXPECT_EQ(tca.ring_hops(0, 2), 2u);
-  EXPECT_EQ(tca.ring_hops(0, 3), 1u);
+  EXPECT_EQ(tca.hops(0, 2), 2u);
+  EXPECT_EQ(tca.hops(0, 3), 1u);
 }
 
 TEST(SubCluster, PioStoreReachesRemoteHost) {

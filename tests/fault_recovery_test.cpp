@@ -31,7 +31,7 @@ using units::us;
 
 SubClusterConfig cluster_of(std::uint32_t nodes) {
   return SubClusterConfig{
-      .node_count = nodes,
+      .spec = TopologySpec::ring(nodes),
       .node_config = {.gpu_count = 2,
                       .host_backing_bytes = 8 << 20,
                       .gpu_backing_bytes = 4 << 20},
@@ -211,7 +211,7 @@ TEST(Recovery, ChainCrossingKilledCableCompletesViaFailoverAndRetry) {
   const auto result = t.result();
   EXPECT_TRUE(result.status.is_ok()) << result.status.to_string();
   EXPECT_GE(result.attempts, 2u);  // first attempt died with the cable
-  EXPECT_FALSE(tca.ring_cable_usable(0));
+  EXPECT_FALSE(tca.cable_usable(0));
   EXPECT_GE(tca.failovers(), 1u);  // routes rewritten to go the other way
   EXPECT_GE(tca.driver(0).chain_retries(), 1u);
   EXPECT_GE(tca.driver(0).watchdog_timeouts(), 1u);
@@ -228,17 +228,17 @@ TEST(Recovery, FailbackRestoresShortestPathRoutes) {
   SubCluster tca(sched, config);
 
   sched.run_for(us(50));
-  EXPECT_FALSE(tca.ring_cable_usable(0));
+  EXPECT_FALSE(tca.cable_usable(0));
   EXPECT_GE(tca.failovers(), 1u);
 
   sched.run_for(us(400));
-  EXPECT_TRUE(tca.ring_cable_usable(0));
+  EXPECT_TRUE(tca.cable_usable(0));
   EXPECT_GE(tca.failbacks(), 1u);
 }
 
 TEST(Recovery, ApiStreamRecoversWithRetriesVisibleInTheReport) {
   sim::Scheduler sched;
-  api::TcaConfig config{.node_count = 4};
+  api::TcaConfig config{.spec = fabric::TopologySpec::ring(4)};
   config.fault_plan.cut(0, us(5));
   api::Runtime rt(sched, config);
 
@@ -271,7 +271,7 @@ TEST(Recovery, ApiStreamRecoversWithRetriesVisibleInTheReport) {
 
 TEST(Recovery, WithoutFailoverTheDeadlineSurfacesTimedOutInsteadOfHanging) {
   sim::Scheduler sched;
-  api::TcaConfig config{.node_count = 2};
+  api::TcaConfig config{.spec = fabric::TopologySpec::ring(2)};
   config.fault_plan.cut(0, us(5));
   config.enable_failover = false;
   api::Runtime rt(sched, config);

@@ -26,7 +26,7 @@ using units::us;
 
 SubClusterConfig small_cluster() {
   return SubClusterConfig{
-      .node_count = 2,
+      .spec = TopologySpec::ring(2),
       .node_config = {.gpu_count = 2,
                       .host_backing_bytes = 8 << 20,
                       .gpu_backing_bytes = 4 << 20},

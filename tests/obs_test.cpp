@@ -130,7 +130,7 @@ class Conservation : public ::testing::Test {
  protected:
   static api::TcaConfig config() {
     return api::TcaConfig{
-        .node_count = 4,
+        .spec = fabric::TopologySpec::ring(4),
         .node_config = {.gpu_count = 2,
                         .host_backing_bytes = 8 << 20,
                         .gpu_backing_bytes = 4 << 20}};

@@ -12,8 +12,12 @@ namespace {
 
 TEST(TcaLayout, CreateValidates) {
   EXPECT_TRUE(TcaLayout::create(0, 1ull << 39, 8).is_ok());
-  EXPECT_FALSE(TcaLayout::create(0, 1ull << 39, 3).is_ok());   // not pow2
-  EXPECT_FALSE(TcaLayout::create(0, 1ull << 39, 32).is_ok());  // > 16
+  EXPECT_FALSE(TcaLayout::create(0, 1ull << 39, 3).is_ok());  // not pow2
+  // Torus-scale fabrics partition the window beyond the paper's 16-node
+  // ring (the ring bound now lives in fabric::TopologySpec::validate).
+  EXPECT_TRUE(TcaLayout::create(0, 1ull << 39, 32).is_ok());
+  EXPECT_TRUE(TcaLayout::create(0, 1ull << 39, 1024).is_ok());
+  EXPECT_FALSE(TcaLayout::create(0, 1ull << 39, 2048).is_ok());  // > limit
   EXPECT_FALSE(TcaLayout::create(0, (1ull << 39) - 8, 8).is_ok());
   EXPECT_FALSE(TcaLayout::create(123, 1ull << 39, 8).is_ok());  // unaligned
 }

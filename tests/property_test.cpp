@@ -31,7 +31,7 @@ TEST_P(RandomDmaChains, MatchesMemcpyReference) {
   Rng rng(GetParam());
   sim::Scheduler sched;
   SubCluster tca(sched, SubClusterConfig{
-                            .node_count = 2,
+                            .spec = fabric::TopologySpec::ring(2),
                             .node_config = {.gpu_count = 2,
                                             .host_backing_bytes = 8 << 20,
                                             .gpu_backing_bytes = 4 << 20}});
@@ -196,7 +196,7 @@ TEST_P(ConcurrentChannels, DisjointRandomChainsAllLandCorrectly) {
   Rng rng(GetParam() * 7919);
   sim::Scheduler sched;
   SubCluster tca(sched, SubClusterConfig{
-                            .node_count = 2,
+                            .spec = fabric::TopologySpec::ring(2),
                             .node_config = {.gpu_count = 2,
                                             .host_backing_bytes = 16 << 20,
                                             .gpu_backing_bytes = 4 << 20}});
@@ -258,7 +258,7 @@ TEST_P(RingDelivery, AllToAllPioStoresArrive) {
   const std::uint32_t n = GetParam();
   sim::Scheduler sched;
   SubCluster tca(sched, SubClusterConfig{
-                            .node_count = n,
+                            .spec = fabric::TopologySpec::ring(n),
                             .node_config = {.gpu_count = 0,
                                             .host_backing_bytes = 4 << 20,
                                             .gpu_backing_bytes = 1 << 20}});
@@ -299,8 +299,7 @@ TEST_P(DualRingDelivery, AllToAllAcrossRings) {
   const std::uint32_t n = GetParam();
   sim::Scheduler sched;
   SubCluster tca(sched, SubClusterConfig{
-                            .node_count = n,
-                            .topology = fabric::Topology::kDualRing,
+                            .spec = fabric::TopologySpec::dual_ring(n),
                             .node_config = {.gpu_count = 0,
                                             .host_backing_bytes = 4 << 20,
                                             .gpu_backing_bytes = 1 << 20}});

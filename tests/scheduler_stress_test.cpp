@@ -233,7 +233,7 @@ TEST(SchedulerStress, ShardedFullSimTraceByteIdentical) {
     Scheduler sched(impl);
     fabric::SubCluster tca(
         sched, fabric::SubClusterConfig{
-                   .node_count = 2,
+                   .spec = fabric::TopologySpec::ring(2),
                    .node_config = {.gpu_count = 2,
                                    .host_backing_bytes = 8 << 20,
                                    .gpu_backing_bytes = 4 << 20}});

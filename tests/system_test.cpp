@@ -15,7 +15,7 @@ using units::us;
 
 SubClusterConfig cluster_config(std::uint32_t nodes) {
   return SubClusterConfig{
-      .node_count = nodes,
+      .spec = fabric::TopologySpec::ring(nodes),
       .node_config = {.gpu_count = 2,
                       .host_backing_bytes = 16 << 20,
                       .gpu_backing_bytes = 4 << 20}};

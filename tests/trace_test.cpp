@@ -60,7 +60,7 @@ TEST(Trace, DmaChainProducesSpans) {
   TraceGuard guard;
   sim::Scheduler sched;
   SubCluster tca(sched, SubClusterConfig{
-                            .node_count = 2,
+                            .spec = fabric::TopologySpec::ring(2),
                             .node_config = {.gpu_count = 2,
                                             .host_backing_bytes = 8 << 20,
                                             .gpu_backing_bytes = 4 << 20}});
@@ -105,7 +105,7 @@ TEST(Trace, TracingDoesNotPerturbTiming) {
     }
     sim::Scheduler sched;
     SubCluster tca(sched, SubClusterConfig{
-                              .node_count = 2,
+                              .spec = fabric::TopologySpec::ring(2),
                               .node_config = {.gpu_count = 2,
                                               .host_backing_bytes = 8 << 20,
                                               .gpu_backing_bytes = 4 << 20}});

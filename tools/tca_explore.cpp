@@ -49,7 +49,8 @@ namespace {
 
 struct Options {
   std::uint32_t nodes = 2;
-  fabric::Topology topology = fabric::Topology::kRing;
+  bool nodes_set = false;  // --nodes given explicitly (torus cross-check)
+  fabric::TopologySpec spec = fabric::TopologySpec::ring(2);
   std::string op = "write";           // write | read | pipelined | pio
   std::string target = "local-host";  // local-/remote- x host/gpu
   std::uint32_t burst = 255;
@@ -69,7 +70,7 @@ struct Options {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--nodes N] [--topology ring|dual-ring] "
+      "usage: %s [--nodes N] [--topology ring|dual-ring|torus:XxY[xZ]] "
       "[--op write|read|pipelined|pio]\n"
       "          [--target local-host|local-gpu|remote-host|remote-gpu]\n"
       "          [--burst K] [--dest NODE] [--sizes a,b,c]\n"
@@ -105,15 +106,15 @@ Options parse(int argc, char** argv) {
     };
     if (a == "--nodes") {
       opt.nodes = static_cast<std::uint32_t>(std::stoul(next()));
+      opt.nodes_set = true;
     } else if (a == "--topology") {
-      const std::string t = next();
-      if (t == "ring") {
-        opt.topology = fabric::Topology::kRing;
-      } else if (t == "dual-ring") {
-        opt.topology = fabric::Topology::kDualRing;
-      } else {
-        usage(argv[0]);
+      auto spec = fabric::TopologySpec::parse(next());
+      if (!spec.is_ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     spec.status().to_string().c_str());
+        std::exit(2);
       }
+      opt.spec = std::move(spec).value();
     } else if (a == "--op") {
       opt.op = next();
     } else if (a == "--target") {
@@ -161,6 +162,21 @@ Options parse(int argc, char** argv) {
     usage(argv[0]);
   }
   if (opt.burst == 0 || opt.burst > calib::kMaxDescriptors) usage(argv[0]);
+  // Resolve the node count: ring/dual-ring parse without one (combine with
+  // --nodes), while a torus spec derives it from its extents.
+  if (opt.spec.kind() == fabric::TopologySpec::Kind::kTorus) {
+    if (opt.nodes_set && opt.nodes != opt.spec.node_count()) {
+      std::fprintf(stderr, "error: --nodes %u does not match %s (%u nodes)\n",
+                   opt.nodes, opt.spec.to_string().c_str(),
+                   opt.spec.node_count());
+      std::exit(2);
+    }
+    opt.nodes = opt.spec.node_count();
+  } else if (opt.spec.kind() == fabric::TopologySpec::Kind::kDualRing) {
+    opt.spec = fabric::TopologySpec::dual_ring(opt.nodes);
+  } else {
+    opt.spec = fabric::TopologySpec::ring(opt.nodes);
+  }
   if (opt.dest >= opt.nodes) usage(argv[0]);
   return opt;
 }
@@ -174,8 +190,7 @@ Options parse(int argc, char** argv) {
 int run_workload(const Options& opt) {
   sim::Scheduler sched;
   const api::TcaConfig config{
-      .node_count = opt.nodes,
-      .topology = opt.topology,
+      .spec = opt.spec,
       .node_config = {.gpu_count = 2,
                       .host_backing_bytes = 64ull << 20,
                       .gpu_backing_bytes = 64ull << 20},
@@ -204,8 +219,7 @@ int run_workload(const Options& opt) {
   coll::Communicator& comm = comm_res.value();
 
   std::printf("tca_explore: %u-node %s, workload=%s size=%s\n", opt.nodes,
-              opt.topology == fabric::Topology::kRing ? "ring" : "dual-ring",
-              opt.workload.c_str(),
+              opt.spec.to_string().c_str(), opt.workload.c_str(),
               units::format_size(opt.size).c_str());
 
   std::vector<Status> st(opt.nodes, Status::ok());
@@ -403,8 +417,7 @@ int main(int argc, char** argv) {
   sim::Scheduler sched;
   fabric::SubCluster tca(
       sched, fabric::SubClusterConfig{
-                 .node_count = opt.nodes,
-                 .topology = opt.topology,
+                 .spec = opt.spec,
                  .node_config = {.gpu_count = 2,
                                  .host_backing_bytes = 64ull << 20,
                                  .gpu_backing_bytes = 8ull << 20},
@@ -438,9 +451,8 @@ int main(int argc, char** argv) {
 
   std::printf("tca_explore: %u-node %s, op=%s target=%s dest=node%u "
               "burst=%u\n",
-              opt.nodes,
-              opt.topology == fabric::Topology::kRing ? "ring" : "dual-ring",
-              opt.op.c_str(), opt.target.c_str(), dest_node, opt.burst);
+              opt.nodes, opt.spec.to_string().c_str(), opt.op.c_str(),
+              opt.target.c_str(), dest_node, opt.burst);
 
   TablePrinter table({"Size", "Elapsed", "Bandwidth", "Latency/op"});
   for (std::uint32_t size : opt.sizes) {
