@@ -8,7 +8,9 @@
 # skipped when the toolchain or kernel can't run TSan binaries),
 # a ~1 s bench_sim_core smoke run (scheduler speedup tripwire + allocation,
 # determinism and backend-equivalence checks), collective bench smoke runs,
-# and tca_explore smoke invocations (--stats and --workload).
+# a chaos smoke (seeded campaigns with same-seed replay check + committed
+# corpus replay), and tca_explore smoke invocations (--stats and
+# --workload).
 #
 # For a full instrumented pass, configure with -DTCA_SANITIZE=address (or
 # undefined) and re-run the whole suite.
@@ -91,6 +93,16 @@ fi
 echo "== tca_explore --workload smoke =="
 "$BUILD"/tools/tca_explore --workload allreduce --size 65536 --nodes 4
 "$BUILD"/tools/tca_explore --workload halo --size 2048 --nodes 4
+
+echo "== chaos smoke (seeded campaigns + same-seed replay check) =="
+# Fast slice of the nightly soak: 25 seeded campaigns over both fabrics,
+# each replayed to hold metrics/traces byte-identical, plus a replay of the
+# committed regression corpus. The full 1000+-campaign sweep runs nightly
+# (.github/workflows/nightly-soak.yml).
+# TCA_LOG=error: fault campaigns legitimately emit driver/link WARNs;
+# keep the per-campaign summary lines readable.
+TCA_LOG=error "$BUILD"/tools/tca_chaos --seed 1 --campaigns 25 --replay-check
+TCA_LOG=error "$BUILD"/tools/tca_chaos --corpus tests/chaos
 
 echo "== tca_explore torus smoke =="
 # 2D torus, dimension-order routed: a cross-dimension DMA plus a collective

@@ -42,6 +42,10 @@ Status Runtime::validate_config(const TcaConfig& config) {
   if (config.node_config.gpu_backing_bytes == 0) {
     return {ErrorCode::kInvalidArgument, "GPU backing store must be > 0"};
   }
+  // Fault-plan events must name resources the resolved fabric actually has
+  // (an out-of-range cable would never fire and the campaign would silently
+  // test nothing).
+  if (Status st = config.fault_plan.validate(spec); !st.is_ok()) return st;
   return Status::ok();
 }
 
@@ -121,6 +125,14 @@ Status Runtime::validate(const Buffer& buf, std::uint64_t offset,
   return Status::ok();
 }
 
+Status Runtime::check_reachable(std::uint32_t from, std::uint32_t to) const {
+  if (cluster_->reachable(from, to)) return Status::ok();
+  return {ErrorCode::kUnreachable,
+          "node " + std::to_string(to) + " is unreachable from node " +
+              std::to_string(from) +
+              ": every dimension-order route crosses a dead cable"};
+}
+
 void Runtime::write(const Buffer& buf, std::uint64_t offset,
                     std::span<const std::byte> data) {
   TCA_ASSERT(validate(buf, offset, data.size()).is_ok());
@@ -151,6 +163,9 @@ sim::Task<Status> Runtime::memcpy_peer(Buffer dst, std::uint64_t dst_off,
                                        std::uint64_t bytes) {
   if (Status st = validate(dst, dst_off, bytes); !st.is_ok()) co_return st;
   if (Status st = validate(src, src_off, bytes); !st.is_ok()) co_return st;
+  if (Status st = check_reachable(src.node, dst.node); !st.is_ok()) {
+    co_return st;
+  }
   if (bytes == 0) co_return Status::ok();
 
   ++metrics_.memcpy_ops;
@@ -207,6 +222,9 @@ Status Runtime::build_batch_chain(
               "put-only fabric: batch sources must be local to the "
               "driving node"};
     }
+    if (Status st = check_reachable(driving_node, op.dst.node); !st.is_ok()) {
+      return st;
+    }
     chain->push_back(
         DmaDescriptor{.src = global_addr(op.src, op.src_off),
                       .dst = global_addr(op.dst, op.dst_off),
@@ -245,11 +263,31 @@ sim::Task<Status> Runtime::batch_with_policy(std::uint32_t driving_node,
   }
   ++metrics_.batches;
   metrics_.batch_ops += ops.size();
-  const driver::Peach2Driver::RetryPolicy policy{
+  // Between attempts, ask the fabric manager whether every destination is
+  // still dimension-order reachable: a partition that forms mid-transfer
+  // then surfaces as kUnreachable after the current attempt's deadline
+  // instead of after the full attempts-times-deadline budget.
+  std::vector<std::uint32_t> dst_nodes;
+  for (const CopyOp& op : ops) {
+    if (std::find(dst_nodes.begin(), dst_nodes.end(), op.dst.node) ==
+        dst_nodes.end()) {
+      dst_nodes.push_back(op.dst.node);
+    }
+  }
+  driver::Peach2Driver::RetryPolicy policy{
       .max_attempts = std::max<std::uint32_t>(1, options.max_attempts),
       .timeout_ps = options.deadline_ps > 0 ? options.deadline_ps
                                             : calib::kChainWatchdogPs,
       .backoff_base_ps = options.backoff_base_ps,
+  };
+  policy.abort_check = [this, driving_node,
+                        dst_nodes = std::move(dst_nodes)]() -> Status {
+    for (const std::uint32_t dst : dst_nodes) {
+      if (Status st = check_reachable(driving_node, dst); !st.is_ok()) {
+        return st;
+      }
+    }
+    return Status::ok();
   };
   const driver::Peach2Driver::ChainResult result =
       co_await cluster_->driver(driving_node).run_chain_reliable(
@@ -472,6 +510,9 @@ sim::Task<Status> Runtime::memcpy_pio(Buffer dst, std::uint64_t dst_off,
   if (!src.is_host()) {
     co_return Status{ErrorCode::kInvalidArgument,
                      "PIO stores source host memory (the CPU issues them)"};
+  }
+  if (Status st = check_reachable(src.node, dst.node); !st.is_ok()) {
+    co_return st;
   }
   if (bytes == 0) co_return Status::ok();
   ++metrics_.memcpy_ops;

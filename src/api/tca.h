@@ -236,6 +236,11 @@ class Runtime {
                                           std::uint64_t offset) const;
   Status validate(const Buffer& buf, std::uint64_t offset,
                   std::uint64_t bytes) const;
+  /// kUnreachable when the fabric manager reports `to` partitioned away
+  /// from `from` (see fabric::SubCluster::reachable). Checked before every
+  /// transfer submission and between retry attempts, so a genuine
+  /// partition surfaces promptly instead of as a full deadline timeout.
+  Status check_reachable(std::uint32_t from, std::uint32_t to) const;
   /// Validates a batch and serializes it into a descriptor chain.
   Status build_batch_chain(std::uint32_t driving_node,
                            const std::vector<CopyOp>& ops,

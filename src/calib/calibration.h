@@ -127,17 +127,26 @@ inline constexpr TimePs kChainWatchdogPs = us(2000);
 /// plus route reprogramming to land before the doorbell re-rings.
 inline constexpr TimePs kRetryBackoffBasePs = us(10);
 
-/// Remote writes to CPU memory carry a PEARL delivery-notification request
-/// on their final TLP; the destination chip answers with a vendor message to
-/// the source chip's mailbox. The DMAC overlaps the ack of descriptor i with
-/// the transfer of descriptor i+1 (2-deep window), so the per-descriptor
-/// cost is max(wire_time, ack_rtt). The ack RTT is *emergent* from the
-/// physical path (2 x route latency + cable + wire times, ~600-700 ns) — no
-/// constant pins it. This reproduces Figure 12: small remote transfers
-/// degraded by inter-PEACH2 latency, 4 KiB equal to in-node. GPU targets
-/// post into the GPU's deep request queue and need no ack (Figure 12:
-/// remote GPU == local GPU at all sizes).
+/// Remote writes carry a PEARL delivery-notification request on each
+/// descriptor's final TLP; the destination chip answers with a vendor
+/// message to the source chip's mailbox once the bytes actually commit at
+/// the memory endpoint. The DMAC overlaps the ack of descriptor i with the
+/// transfer of descriptor i+1 (2-deep window for CPU targets), so the
+/// per-descriptor cost is max(wire_time, ack_rtt). The ack RTT is
+/// *emergent* from the physical path (2 x route latency + cable + wire
+/// times, ~600-700 ns) — no constant pins it. This reproduces Figure 12:
+/// small remote transfers degraded by inter-PEACH2 latency, 4 KiB equal to
+/// in-node.
 inline constexpr std::uint32_t kRemoteAckWindow = 2;
+
+/// GPU targets post into the GPU's deep request queue, so descriptor issue
+/// is not throttled on their notifications the way CPU targets are — the
+/// window is the full 32-tag per-channel rotation, deep enough that the
+/// ack stream never gates issue (Figure 12: remote GPU == local GPU at all
+/// sizes). The notification itself is still requested and the chain holds
+/// completion until every ack is in (complete_chain drains to zero), which
+/// is the end-to-end evidence the reliable-put path needs.
+inline constexpr std::uint32_t kGpuRemoteAckWindow = 32;
 
 /// PEACH2 internal packet RAM (embedded FPGA memory; Section III-D —
 /// a Stratix IV GX530 carries ~20 Mbit of block RAM).

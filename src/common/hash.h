@@ -1,0 +1,24 @@
+// Deterministic fingerprinting for replay gates.
+//
+// FNV-1a is not a cryptographic hash; it is a fast, platform-independent
+// fingerprint for the byte-identical-output checks (trace JSON, metric
+// snapshots) the determinism gates compare across runs, seeds and scheduler
+// backends. Two equal fingerprints are treated as equal documents only in
+// contexts where the full documents are also available for a hard diff.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace tca {
+
+constexpr std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t hash = 14695981039346656037ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace tca

@@ -1,8 +1,28 @@
 #include "common/log.h"
 
+#include <cstdlib>
+#include <string_view>
+
 namespace tca {
 
-LogLevel Log::level_ = LogLevel::kWarn;
+namespace {
+/// Initial verbosity: TCA_LOG=trace|debug|info|warn|error|off overrides the
+/// default so tools can be made chatty without a rebuild.
+LogLevel initial_level() {
+  const char* env = std::getenv("TCA_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  const std::string_view v(env);
+  if (v == "trace") return LogLevel::kTrace;
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  if (v == "off") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+}  // namespace
+
+LogLevel Log::level_ = initial_level();
 TimePs Log::now_ = 0;
 
 namespace {

@@ -250,6 +250,12 @@ sim::Task<Peach2Driver::ChainResult> Peach2Driver::run_chain_reliable(
     result.status = chain_status(channel);
     if (result.status.is_ok()) break;
     if (attempt == policy.max_attempts) break;
+    if (policy.abort_check) {
+      if (Status verdict = policy.abort_check(); !verdict.is_ok()) {
+        result.status = verdict;
+        break;
+      }
+    }
     // Back off before re-ringing the doorbell: gives the NIOS firmware and
     // fabric manager time to fail the ring over before the next attempt.
     ++retries_;

@@ -16,6 +16,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -69,6 +70,12 @@ struct RetryPolicy {
   TimePs timeout_ps = calib::kChainWatchdogPs;
   TimePs backoff_base_ps = calib::kRetryBackoffBasePs;
   std::uint32_t backoff_multiplier = 2;
+  /// Optional preflight consulted after a failed attempt, before the next
+  /// doorbell re-ring. A non-OK return stops the retry loop immediately
+  /// with that status — the hook the API layer uses to surface a fabric
+  /// partition as a prompt kUnreachable instead of burning the remaining
+  /// attempts' deadlines against a destination no reroute can reach.
+  std::function<Status()> abort_check;
 };
 
 /// Outcome of run_chain_reliable.

@@ -3,6 +3,9 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "calib/calibration.h"
+#include "fabric/topology.h"
+
 namespace tca::fabric {
 
 const char* to_string(FaultEvent::Kind kind) {
@@ -96,6 +99,28 @@ bool parse_u32(std::string_view v, std::uint32_t* out) {
   return true;
 }
 
+/// Key bits for the per-kind allowed sets and duplicate detection.
+enum KeyBit : unsigned {
+  kKeyCable = 1u << 0,
+  kKeyNode = 1u << 1,
+  kKeyCh = 1u << 2,
+  kKeyAt = 1u << 3,
+  kKeyFor = 1u << 4,
+  kKeyRate = 1u << 5,
+};
+
+unsigned allowed_keys(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::kLinkDown: return kKeyCable | kKeyAt | kKeyFor;
+    case FaultEvent::Kind::kLinkUp: return kKeyCable | kKeyAt;
+    case FaultEvent::Kind::kBerBurst:
+      return kKeyCable | kKeyAt | kKeyFor | kKeyRate;
+    case FaultEvent::Kind::kStuckDoorbell:
+      return kKeyNode | kKeyCh | kKeyAt | kKeyFor;
+  }
+  return 0;
+}
+
 }  // namespace
 
 Result<FaultPlan> FaultPlan::parse(std::string_view spec) {
@@ -128,6 +153,8 @@ Result<FaultPlan> FaultPlan::parse(std::string_view spec) {
                          "unknown kind \"" + std::string(kind_name) + "\"");
     }
 
+    const unsigned allowed = allowed_keys(e.kind);
+    unsigned seen = 0;
     std::size_t kpos = colon + 1;
     while (kpos < item.size()) {
       std::size_t comma = item.find(',', kpos);
@@ -140,24 +167,41 @@ Result<FaultPlan> FaultPlan::parse(std::string_view spec) {
       }
       const std::string_view key = kv.substr(0, eq);
       const std::string_view value = kv.substr(eq + 1);
+      unsigned bit = 0;
       bool ok = true;
       if (key == "cable") {
+        bit = kKeyCable;
         ok = parse_u32(value, &e.cable);
       } else if (key == "node") {
+        bit = kKeyNode;
         ok = parse_u32(value, &e.node);
       } else if (key == "ch") {
+        bit = kKeyCh;
         std::uint32_t ch = 0;
         ok = parse_u32(value, &ch);
         e.channel = static_cast<int>(ch);
       } else if (key == "at") {
+        bit = kKeyAt;
         ok = parse_time(value, &e.at);
       } else if (key == "for") {
+        bit = kKeyFor;
         ok = parse_time(value, &e.duration);
       } else if (key == "rate") {
+        bit = kKeyRate;
         ok = parse_double(value, &e.ber);
       } else {
         return parse_error(spec, "unknown key \"" + std::string(key) + "\"");
       }
+      if ((allowed & bit) == 0) {
+        return parse_error(spec, "key \"" + std::string(key) +
+                                     "\" is not valid for \"" +
+                                     std::string(kind_name) + "\"");
+      }
+      if ((seen & bit) != 0) {
+        return parse_error(spec, "duplicate key \"" + std::string(key) +
+                                     "\" in \"" + std::string(item) + "\"");
+      }
+      seen |= bit;
       if (!ok) {
         return parse_error(spec, "bad value \"" + std::string(value) +
                                      "\" for " + std::string(key));
@@ -176,28 +220,82 @@ Result<FaultPlan> FaultPlan::parse(std::string_view spec) {
   return plan;
 }
 
-std::string FaultPlan::to_string() const {
+std::string to_string(const FaultEvent& e) {
   std::ostringstream out;
-  bool first = true;
+  out << to_string(e.kind) << ":at=" << e.at << "ps";
+  switch (e.kind) {
+    case FaultEvent::Kind::kLinkDown:
+    case FaultEvent::Kind::kLinkUp:
+      out << ",cable=" << e.cable;
+      break;
+    case FaultEvent::Kind::kBerBurst:
+      out << ",cable=" << e.cable << ",rate=" << e.ber;
+      break;
+    case FaultEvent::Kind::kStuckDoorbell:
+      out << ",node=" << e.node << ",ch=" << e.channel;
+      break;
+  }
+  // kLinkUp has no duration key (parse rejects "for" on "up"); a stray
+  // duration on such an event must not leak into the canonical form.
+  if (e.duration > 0 && e.kind != FaultEvent::Kind::kLinkUp) {
+    out << ",for=" << e.duration << "ps";
+  }
+  return out.str();
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
   for (const FaultEvent& e : events) {
-    if (!first) out << ';';
-    first = false;
-    out << fabric::to_string(e.kind) << ":at=" << e.at << "ps";
+    if (!out.empty()) out += ';';
+    out += fabric::to_string(e);
+  }
+  return out;
+}
+
+Status FaultPlan::validate(const TopologySpec& topo) const {
+  const std::uint32_t cables = topo.cable_count();
+  const std::uint32_t nodes = topo.node_count();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& e = events[i];
+    const auto fail = [&](const std::string& why) {
+      return Status{ErrorCode::kInvalidArgument,
+                    "fault plan event " + std::to_string(i) + " (" +
+                        fabric::to_string(e) + "): " + why};
+    };
+    if (e.at < 0) return fail("event time must be >= 0");
+    if (e.duration < 0) return fail("duration must be >= 0");
     switch (e.kind) {
       case FaultEvent::Kind::kLinkDown:
       case FaultEvent::Kind::kLinkUp:
-        out << ",cable=" << e.cable;
-        break;
       case FaultEvent::Kind::kBerBurst:
-        out << ",cable=" << e.cable << ",rate=" << e.ber;
+        if (e.cable >= cables) {
+          return fail("cable " + std::to_string(e.cable) +
+                      " out of range: topology " + topo.to_string() +
+                      " has " + std::to_string(cables) + " cables");
+        }
         break;
       case FaultEvent::Kind::kStuckDoorbell:
-        out << ",node=" << e.node << ",ch=" << e.channel;
+        if (e.node >= nodes) {
+          return fail("node " + std::to_string(e.node) +
+                      " out of range: topology " + topo.to_string() +
+                      " has " + std::to_string(nodes) + " nodes");
+        }
+        if (e.channel < 0 || e.channel >= calib::kDmaChannels) {
+          return fail("channel " + std::to_string(e.channel) +
+                      " out of range: DMAC has " +
+                      std::to_string(calib::kDmaChannels) + " channels");
+        }
         break;
     }
-    if (e.duration > 0) out << ",for=" << e.duration << "ps";
+    if (e.kind == FaultEvent::Kind::kBerBurst &&
+        (e.ber <= 0 || e.ber > 1 || e.duration <= 0)) {
+      return fail("ber burst needs rate in (0, 1] and for > 0");
+    }
+    if (e.kind == FaultEvent::Kind::kStuckDoorbell && e.duration <= 0) {
+      return fail("stuck doorbell needs for > 0");
+    }
   }
-  return out.str();
+  return Status::ok();
 }
 
 }  // namespace tca::fabric

@@ -19,6 +19,8 @@
 
 namespace tca::fabric {
 
+class TopologySpec;
+
 struct FaultEvent {
   enum class Kind : std::uint8_t {
     kLinkDown,       ///< cable surprise-down at `at` (up again after `duration`)
@@ -37,6 +39,10 @@ struct FaultEvent {
 };
 
 const char* to_string(FaultEvent::Kind kind);
+
+/// One event in the FaultPlan::to_string() grammar ("flap:at=5000000ps,
+/// cable=0,for=100000000ps") — also the rendering validation errors embed.
+std::string to_string(const FaultEvent& event);
 
 struct FaultPlan {
   std::vector<FaultEvent> events;
@@ -68,10 +74,24 @@ struct FaultPlan {
   /// are plain doubles ("1e-6"). Example:
   ///
   ///   flap:cable=0,at=5us,for=100us;ber:cable=1,at=0,for=1ms,rate=1e-6
+  ///
+  /// Each kind accepts exactly its own keys (flap/cut: cable,at,for;
+  /// up: cable,at; ber: cable,at,for,rate; stuck: node,ch,at,for) and every
+  /// key at most once — a duplicate or foreign key is a parse error, not a
+  /// silent overwrite. parse(to_string()) reproduces the plan exactly.
   static Result<FaultPlan> parse(std::string_view spec);
 
-  /// Canonical one-line rendering (diagnostics / campaign logs).
+  /// Canonical one-line rendering (diagnostics / campaign logs);
+  /// parse() accepts it back verbatim.
   [[nodiscard]] std::string to_string() const;
+
+  /// Checks every event against the fabric `topo` describes: cable ids
+  /// must fall inside TopologySpec::cable_count(), stuck-doorbell node /
+  /// channel inside the node count / calib::kDmaChannels, times must be
+  /// non-negative and BER rates in (0, 1]. The error names the offending
+  /// event — an out-of-range fault would otherwise never fire and the
+  /// campaign would silently test nothing.
+  [[nodiscard]] Status validate(const TopologySpec& topo) const;
 };
 
 }  // namespace tca::fabric

@@ -2,6 +2,7 @@
 
 #include "common/log.h"
 #include "common/trace.h"
+#include "peach2/dmac.h"
 #include "peach2/nios.h"
 
 namespace tca::fabric {
@@ -105,7 +106,18 @@ SubCluster::SubCluster(sim::Scheduler& sched, const SubClusterConfig& config)
     if (config.enable_failover) arm_failover(sched);
   }
 
-  if (!config.fault_plan.empty()) schedule_faults(sched);
+  if (!config.fault_plan.empty()) {
+    // Runtime::create surfaces this as a Status before construction; the
+    // assert here is the backstop for direct SubCluster users. An
+    // out-of-range event would otherwise never fire and the campaign would
+    // silently test a quieter fabric than it claims.
+    const Status plan_ok = cfg_.fault_plan.validate(topo_);
+    if (!plan_ok.is_ok()) {
+      Log::write(LogLevel::kError, "fabric", plan_ok.to_string());
+    }
+    TCA_ASSERT(plan_ok.is_ok());
+    schedule_faults(sched);
+  }
 }
 
 void SubCluster::add_cable(sim::Scheduler& sched, std::uint32_t from,
@@ -274,11 +286,48 @@ void SubCluster::arm_failover(sim::Scheduler& sched) {
             if (port == torus_minus_port(d)) cable = minus_cable_[i][d];
           }
           if (cable == kNoCable) return;  // N (host slot) or unwired port
+          // A transition superseded before the NIOS could service it — a
+          // flap shorter than the service delay — is a no-op: the link is
+          // already back in its previous state, the link layer's replay
+          // absorbs the blip, and rerouting now would abandon held traffic
+          // the retrained cable is about to deliver. The counterpart event
+          // that restored the state is (or will be) skipped the same way.
+          if (cables_[cable]->is_up() != up) return;
           if (cable_usable_[cable] == up) return;  // peer already serviced
-          cable_usable_[cable] = up;
+          // Servicing a link interrupt reads *current* fabric-wide link
+          // state rather than replaying the event log one edge at a time.
+          // This keeps multi-cable transitions atomic: a reroute never
+          // commits to a detour whose own down event is still queued
+          // behind the NIOS service delay, and a mass retrain never
+          // staggers through asymmetric intermediate states that would
+          // rewrite routes (and quiesce chains) only to rewrite them back
+          // a service-tick later.
+          std::vector<CableId> newly_dead;
+          for (CableId c = 0; c < cables_.size(); ++c) {
+            const bool phys = cables_[c]->is_up();
+            if (cable_usable_[c] != phys) {
+              cable_usable_[c] = phys;
+              if (!phys) newly_dead.push_back(c);
+            }
+          }
           const std::uint32_t changed = reprogram_routes();
           if (changed == 0) return;
           up ? ++failbacks_ : ++failovers_;
+          // Traffic already committed to a dead cable must not outlive
+          // the reroute: held TLPs replaying after retrain would land as
+          // stale duplicates of data the driver retry redelivers the other
+          // way. When changed == 0 (no detour exists) nothing is touched —
+          // holding in the replay buffers stays the pre-failover behavior.
+          for (CableId c : newly_dead) abandon_dead_path(c);
+          // A reroute breaks the FIFO-path guarantee the PEARL delivery
+          // notification rests on: the ack tags only the *last* TLP of a
+          // descriptor, so with part of the descriptor committed to the old
+          // path and the rest taking the new one, the ack can arrive while
+          // earlier bytes are still stranded — the chain would report ok
+          // with a hole in the delivered data. Quiesce every in-flight
+          // chain instead; the driver retry layer redelivers them whole
+          // over the settled routes.
+          quiesce_in_flight_chains();
           Log::write(LogLevel::kInfo, "fabric",
                      std::string(up ? "failback" : "failover") + ": cable " +
                          std::to_string(cable) + (up ? " up, " : " down, ") +
@@ -294,6 +343,59 @@ void SubCluster::arm_failover(sim::Scheduler& sched) {
   }
 }
 
+void SubCluster::abandon_dead_path(CableId cable) {
+  // The zombie-replay hazard: TLPs parked for the dead cable (its replay
+  // buffers and the endpoint chips' egress FIFOs) would retransmit after
+  // retrain, long after the watchdog-driven retry delivered the same
+  // transfer via the detour — overwriting staging buffers the protocol has
+  // since recycled, while every op still reports success. Once the reroute
+  // is in force the held traffic is declared undeliverable instead; the
+  // missing remote acks make the retry layer redeliver it.
+  auto& link = *cables_[cable];
+  std::size_t n = link.end_a().abandon_queued();
+  n += link.end_b().abandon_queued();
+  const auto [from, to] = cable_ends_[cable];
+  const std::uint32_t dim = cable_dim_[cable];
+  TCA_ASSERT(plus_cable_[from][dim] == cable &&
+             minus_cable_[to][dim] == cable);
+  chips_[from]->abandon_egress(torus_plus_port(dim));
+  chips_[to]->abandon_egress(torus_minus_port(dim));
+  if (n > 0) {
+    Log::write(LogLevel::kInfo, "fabric",
+               "failover: abandoned " + std::to_string(n) +
+                   " held TLPs on cable " + std::to_string(cable));
+  }
+}
+
+void SubCluster::quiesce_in_flight_chains() {
+  std::uint32_t aborted = 0;
+  for (const auto& chip : chips_) {
+    for (int ch = 0; ch < calib::kDmaChannels; ++ch) {
+      peach2::DmaController& engine = chip->dmac(ch);
+      if (engine.busy()) {
+        engine.abort(ErrorCode::kLinkDown);
+        ++aborted;
+      }
+    }
+  }
+  chain_quiesces_ += aborted;
+  if (aborted > 0) {
+    Log::write(LogLevel::kInfo, "fabric",
+               "route change: quiesced " + std::to_string(aborted) +
+                   " in-flight DMA chains");
+  }
+}
+
+std::uint64_t SubCluster::abandoned_tlps() const {
+  std::uint64_t total = 0;
+  for (const auto& cable : cables_) {
+    total += cable->end_a().abandoned_tlps();
+    total += cable->end_b().abandoned_tlps();
+  }
+  for (const auto& chip : chips_) total += chip->abandoned_tlps();
+  return total;
+}
+
 CableId SubCluster::ring_cable_at(std::uint32_t node, std::uint32_t dim,
                                   std::uint32_t coord) const {
   auto c = topo_.coords(node);
@@ -301,35 +403,46 @@ CableId SubCluster::ring_cable_at(std::uint32_t node, std::uint32_t dim,
   return plus_cable_[topo_.node_at(c)][dim];
 }
 
+std::pair<bool, bool> SubCluster::arcs_clean(std::uint32_t node,
+                                             std::uint32_t dim,
+                                             std::uint32_t target) const {
+  const std::uint32_t extent = topo_.extent(dim);
+  const std::uint32_t own = topo_.coords(node)[dim];
+  const std::uint32_t plus = (target + extent - own) % extent;
+  const std::uint32_t minus = (own + extent - target) % extent;
+  bool plus_clean = true, minus_clean = true;
+  for (std::uint32_t h = 0; h < plus; ++h) {
+    plus_clean = plus_clean &&
+                 cable_usable_[ring_cable_at(node, dim, (own + h) % extent)];
+  }
+  for (std::uint32_t h = 0; h < minus; ++h) {
+    minus_clean = minus_clean &&
+                  cable_usable_[ring_cable_at(node, dim,
+                                              (own + extent - 1 - h) %
+                                                  extent)];
+  }
+  return {plus_clean, minus_clean};
+}
+
+peach2::PortId SubCluster::expected_port(const RouteRecord& r) const {
+  const std::uint32_t extent = topo_.extent(r.dim);
+  const std::uint32_t own = topo_.coords(r.node)[r.dim];
+  const std::uint32_t plus = (r.target + extent - own) % extent;
+  const std::uint32_t minus = (own + extent - r.target) % extent;
+  const auto [plus_clean, minus_clean] = arcs_clean(r.node, r.dim, r.target);
+  // Shortest path when both directions are clean — and also when both
+  // are dirty: with no usable detour, traffic is held in the replay
+  // buffer of the shortest direction, the pre-failover behavior.
+  if (plus_clean == minus_clean) {
+    return plus <= minus ? torus_plus_port(r.dim) : torus_minus_port(r.dim);
+  }
+  return plus_clean ? torus_plus_port(r.dim) : torus_minus_port(r.dim);
+}
+
 std::uint32_t SubCluster::reprogram_routes() {
   std::uint32_t changed = 0;
   for (const RouteRecord& r : route_records_) {
-    const auto c = topo_.coords(r.node);
-    const std::uint32_t extent = topo_.extent(r.dim);
-    const std::uint32_t own = c[r.dim];
-    const std::uint32_t plus = (r.target + extent - own) % extent;
-    const std::uint32_t minus = (own + extent - r.target) % extent;
-    bool plus_clean = true, minus_clean = true;
-    for (std::uint32_t h = 0; h < plus; ++h) {
-      plus_clean = plus_clean &&
-                   cable_usable_[ring_cable_at(r.node, r.dim,
-                                               (own + h) % extent)];
-    }
-    for (std::uint32_t h = 0; h < minus; ++h) {
-      minus_clean = minus_clean &&
-                    cable_usable_[ring_cable_at(r.node, r.dim,
-                                                (own + extent - 1 - h) %
-                                                    extent)];
-    }
-    // Shortest path when both directions are clean — and also when both
-    // are dirty: with no usable detour, traffic is held in the replay
-    // buffer of the shortest direction, the pre-failover behavior.
-    PortId port;
-    if (plus_clean == minus_clean) {
-      port = plus <= minus ? torus_plus_port(r.dim) : torus_minus_port(r.dim);
-    } else {
-      port = plus_clean ? torus_plus_port(r.dim) : torus_minus_port(r.dim);
-    }
+    const PortId port = expected_port(r);
     RouteEntry& entry = chips_[r.node]->routing().entry_mut(r.entry_index);
     if (entry.port != port) {
       entry.port = port;
@@ -337,6 +450,35 @@ std::uint32_t SubCluster::reprogram_routes() {
     }
   }
   return changed;
+}
+
+std::uint32_t SubCluster::route_mismatches() const {
+  std::uint32_t mismatches = 0;
+  for (const RouteRecord& r : route_records_) {
+    const RouteEntry& entry = chips_[r.node]->routing().entry(r.entry_index);
+    if (entry.port != expected_port(r)) ++mismatches;
+  }
+  return mismatches;
+}
+
+bool SubCluster::reachable(std::uint32_t from, std::uint32_t to) const {
+  if (from >= size() || to >= size()) return false;
+  if (from == to) return true;
+  if (topo_.kind() == TopologySpec::Kind::kDualRing) return true;
+  // Walk the dimension-order path: the packet corrects the highest
+  // differing dimension first, and the direction choice is made by the
+  // ring-entry node (intermediate nodes along a clean arc see a clean
+  // sub-arc and keep steering the same way).
+  auto cur = topo_.coords(from);
+  const auto dst = topo_.coords(to);
+  for (std::uint32_t d = topo_.dims(); d-- > 0;) {
+    if (cur[d] == dst[d]) continue;
+    const auto [plus_clean, minus_clean] =
+        arcs_clean(topo_.node_at(cur), d, dst[d]);
+    if (!plus_clean && !minus_clean) return false;
+    cur[d] = dst[d];
+  }
+  return true;
 }
 
 void SubCluster::schedule_faults(sim::Scheduler& sched) {
@@ -353,8 +495,14 @@ void SubCluster::schedule_faults(sim::Scheduler& sched) {
           if (++cable_down_depth_[c] == 1) cables_[c]->set_up(false);
         });
         if (e.duration > 0) {
+          // The depth may already be 0 if an explicit kLinkUp cancelled
+          // this window before it closed; decrementing past 0 would make a
+          // later kLinkDown's ++depth==1 edge test miss and leave the cable
+          // silently up.
           sched.schedule_after(e.at + e.duration, [this, c] {
-            if (--cable_down_depth_[c] == 0) cables_[c]->set_up(true);
+            if (cable_down_depth_[c] > 0 && --cable_down_depth_[c] == 0) {
+              cables_[c]->set_up(true);
+            }
           });
         }
         break;
@@ -452,6 +600,9 @@ void SubCluster::export_metrics(obs::MetricRegistry& reg) const {
   reg.counter("fabric.link_dropped_tlps").set(link_roll[5]);
   reg.counter("fabric.failovers").set(failovers_);
   reg.counter("fabric.failbacks").set(failbacks_);
+  reg.counter("fabric.abandoned_tlps").set(abandoned_tlps());
+  reg.counter("fabric.chain_quiesces").set(chain_quiesces_);
+  reg.counter("fabric.route_mismatches").set(route_mismatches());
 
   std::uint64_t forwarded = 0, dropped = 0, unroutable = 0;
   std::uint64_t dma_chains = 0, dma_written = 0, dma_read = 0, dma_errors = 0;

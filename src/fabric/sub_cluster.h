@@ -165,6 +165,47 @@ class SubCluster {
   [[nodiscard]] std::uint64_t failovers() const { return failovers_; }
   [[nodiscard]] std::uint64_t failbacks() const { return failbacks_; }
 
+  /// TLPs abandoned by failovers: traffic held for a dead cable (link
+  /// replay buffers plus the endpoint chips' egress FIFOs) that a reroute
+  /// steered around. Discarding it is what prevents zombie replays — held
+  /// TLPs retransmitting after retrain into staging buffers the driver's
+  /// retry has since recycled. Exported as `fabric.abandoned_tlps`.
+  [[nodiscard]] std::uint64_t abandoned_tlps() const;
+
+  /// DMA chains aborted by route changes. The PEARL delivery notification
+  /// tags only the final TLP of a descriptor, so its arrival proves full
+  /// delivery only while the whole descriptor followed one FIFO path. A
+  /// reroute voids that premise — the tail can arrive via the new path
+  /// while earlier TLPs sit stranded on the dead one — so every chain in
+  /// flight when routes are rewritten is aborted and left to the driver
+  /// retry layer to redeliver whole. Exported as `fabric.chain_quiesces`.
+  [[nodiscard]] std::uint64_t chain_quiesces() const {
+    return chain_quiesces_;
+  }
+
+  /// Route registers whose port disagrees with what the failover logic
+  /// would program under the current cable_usable_ view. Nonzero means a
+  /// reroute was missed or half-applied — the system invariant the chaos
+  /// campaigns assert after every failover/failback (exported as
+  /// `fabric.route_mismatches`). Always 0 for the dual ring (no records).
+  [[nodiscard]] std::uint32_t route_mismatches() const;
+  [[nodiscard]] bool routes_consistent() const {
+    return route_mismatches() == 0;
+  }
+
+  /// Whether dimension-order routing can steer traffic from `from` to `to`
+  /// under the firmware's current cable view: walking dimensions highest
+  /// first, each differing coordinate needs at least one fully usable arc
+  /// (plus or minus) around that dimension's ring. Both arcs dead in any
+  /// dimension is a genuine partition for this fabric — the address-range
+  /// route registers cannot express a detour through another dimension, so
+  /// the API surfaces such destinations as kUnreachable instead of letting
+  /// every transfer burn its full deadline. Cables the NIOS has not
+  /// serviced yet still count as usable (the tables reflect the firmware
+  /// view, not the wire). Dual rings carry no failover state and always
+  /// report reachable.
+  [[nodiscard]] bool reachable(std::uint32_t from, std::uint32_t to) const;
+
  private:
   /// One programmed route register and the torus range it steers: node
   /// `node`'s entry `entry_index` covers every destination whose dimension
@@ -194,13 +235,33 @@ class SubCluster {
 
   /// Installs the NIOS link listeners that drive route failover.
   void arm_failover(sim::Scheduler& sched);
+  /// Discards traffic held for `cable` after a failover rerouted around it
+  /// (both link directions' queues and the endpoint chips' facing egress
+  /// FIFOs). Redelivery belongs to the driver retry layer from here on.
+  void abandon_dead_path(CableId cable);
+  /// Aborts every busy DMA engine in the sub-cluster after a route change
+  /// (see chain_quiesces() for why a reroute invalidates in-flight chains).
+  void quiesce_in_flight_chains();
   /// Schedules every FaultPlan event onto `sched`.
   void schedule_faults(sim::Scheduler& sched);
   /// Rewrites every recorded route honoring cable_usable_; returns the
   /// number of route entries whose port changed. Only ports within the
   /// affected dimension's rings ever flip — dimension-order ranges are
-  /// direction-agnostic by construction.
+  /// direction-agnostic by construction. Every record is evaluated against
+  /// its own dimension ring, so concurrent dead cables in different
+  /// dimensions each fail over independently.
   std::uint32_t reprogram_routes();
+  /// Whether each arc (plus, minus) of the dimension-`dim` ring through
+  /// `node`, from the node's own coordinate to `target`, is free of
+  /// firmware-dead cables.
+  [[nodiscard]] std::pair<bool, bool> arcs_clean(std::uint32_t node,
+                                                 std::uint32_t dim,
+                                                 std::uint32_t target) const;
+  /// Port the dimension-order tables should steer `r` through given the
+  /// current cable_usable_ view: the clean direction when exactly one arc
+  /// is clean, shortest otherwise (both-dirty keeps shortest so traffic is
+  /// held in the replay buffer, the pre-failover behavior).
+  [[nodiscard]] peach2::PortId expected_port(const RouteRecord& r) const;
   /// Cable carrying traffic from the node at coordinate `coord` toward
   /// coordinate + 1 inside the dimension-`dim` ring through node `node`.
   [[nodiscard]] CableId ring_cable_at(std::uint32_t node, std::uint32_t dim,
@@ -230,6 +291,7 @@ class SubCluster {
   std::vector<bool> cable_usable_;
   std::uint64_t failovers_ = 0;
   std::uint64_t failbacks_ = 0;
+  std::uint64_t chain_quiesces_ = 0;
 
   /// FaultPlan window nesting: a resource stays faulted until every
   /// overlapping window has closed.

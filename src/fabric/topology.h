@@ -88,6 +88,21 @@ class TopologySpec {
   /// entries).
   [[nodiscard]] std::uint32_t route_entries_per_node() const;
 
+  /// Number of inter-node cables the sub-cluster builder lays for this
+  /// topology: n for the ring (a 2-node ring is two back-to-back cables),
+  /// n + n/2 for the dual ring (two half rings plus the South cross-links),
+  /// and dims * n for a torus (one full cable ring per dimension). This is
+  /// the valid-CableId bound a FaultPlan is validated against.
+  [[nodiscard]] constexpr std::uint32_t cable_count() const {
+    const std::uint32_t n = node_count();
+    switch (kind_) {
+      case Kind::kRing: return n;
+      case Kind::kDualRing: return n + n / 2;
+      case Kind::kTorus: return dims_ * n;
+    }
+    return 0;
+  }
+
   /// Torus coordinates of a node id (unused dimensions read 0).
   [[nodiscard]] std::array<std::uint32_t, kMaxDims> coords(
       std::uint32_t node) const;

@@ -126,8 +126,12 @@ void GpuDevice::on_tlp(pcie::Tlp tlp, pcie::LinkPort& port) {
         const DevPtr offset = *dev;
         auto data = std::move(tlp.payload);
         sched_.schedule_after(
-            cfg_.write_commit_ps, [this, offset, d = std::move(data)] {
+            cfg_.write_commit_ps,
+            [this, offset, d = std::move(data),
+             notifier = tlp.commit_notifier, ack = tlp.ack_address,
+             tag = tlp.tag] {
               gddr_.write(offset, d);
+              if (notifier != nullptr) notifier->on_write_commit(ack, tag);
             });
       }
       port.release_rx(wire);

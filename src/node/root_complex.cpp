@@ -99,10 +99,13 @@ void RootComplex::route(pcie::Tlp tlp, bool arrived_via_qpi) {
 void RootComplex::handle_host_write(pcie::Tlp tlp) {
   host_wr_ += tlp.payload.size();
   const std::uint64_t offset = tlp.address - host_base_;
-  sched_.schedule_after(kHostWriteCommitPs,
-                        [this, offset, data = std::move(tlp.payload)] {
-                          host_dram_.write(offset, data);
-                        });
+  sched_.schedule_after(
+      kHostWriteCommitPs,
+      [this, offset, data = std::move(tlp.payload),
+       notifier = tlp.commit_notifier, ack = tlp.ack_address, tag = tlp.tag] {
+        host_dram_.write(offset, data);
+        if (notifier != nullptr) notifier->on_write_commit(ack, tag);
+      });
 }
 
 void RootComplex::handle_host_read(pcie::Tlp tlp) {

@@ -189,6 +189,27 @@ void LinkPort::on_link_down() {
   }
 }
 
+std::size_t LinkPort::abandon_queued() {
+  // Only queued (never-transmitted or surprise-down-returned) TLPs are
+  // discarded. TLPs already past the serializer stay untouched: when the
+  // link is up they are committed to the wire and deliver exactly once, and
+  // when it is down on_link_down has already pulled them back into the
+  // queue we are about to clear. Queued TLPs hold no receiver credits
+  // (credits are reserved at transmit, and on_link_down returns them), so
+  // no credit bookkeeping is needed here.
+  const std::size_t n = tx_queue_.size();
+  for (const Tlp& t : tx_queue_) tx_queued_ -= t.wire_bytes();
+  tx_queue_.clear();
+  abandoned_tlps_ += n;
+  if (n > 0 && Trace::instance().enabled() && !cfg_->name.empty()) {
+    Trace::instance().instant(
+        cfg_->name,
+        "failover: " + std::to_string(n) + " held TLPs abandoned",
+        sched_->now());
+  }
+  return n;
+}
+
 void LinkPort::deliver(Tlp tlp) {
   TCA_ASSERT(sink_ != nullptr && "LinkPort has no sink attached");
   sink_->on_tlp(std::move(tlp), *this);

@@ -139,6 +139,16 @@ class LinkPort {
   void set_shard(std::uint32_t shard) { shard_ = shard; }
   [[nodiscard]] std::uint32_t shard() const { return shard_; }
 
+  /// Fault recovery: discards every TLP queued for transmission, including
+  /// surprise-down returns parked in the replay buffer. The fabric calls
+  /// this when a failover has rerouted traffic away from this cable: after
+  /// the reroute, retransmitting the held TLPs on retrain would deliver
+  /// stale duplicates into buffers the transfer's retry has since recycled,
+  /// so the data-link layer gives them up (DL_Down) and redelivery belongs
+  /// to the driver's retry layer. Returns the number of TLPs discarded,
+  /// which is also accumulated into abandoned_tlps().
+  std::size_t abandon_queued();
+
   /// Statistics ------------------------------------------------------------
   [[nodiscard]] std::uint64_t tlps_sent() const { return tlps_sent_; }
   [[nodiscard]] std::uint64_t wire_bytes_sent() const { return wire_sent_; }
@@ -148,8 +158,14 @@ class LinkPort {
   /// TLPs that were in flight when the link went down. Each one is returned
   /// to the replay buffer (front of the egress queue) for retransmission
   /// after retrain, so data is delayed, not lost — but the drop is counted
-  /// and traced rather than silently absorbed.
+  /// and traced rather than silently absorbed. If a failover reroutes away
+  /// from this cable before retrain, abandon_queued() discards them instead.
   [[nodiscard]] std::uint64_t dropped_tlps() const { return dropped_tlps_; }
+  /// TLPs discarded by abandon_queued() — held traffic a route failover
+  /// declared undeliverable on this path.
+  [[nodiscard]] std::uint64_t abandoned_tlps() const {
+    return abandoned_tlps_;
+  }
   /// Simulated time this direction spent head-of-line blocked waiting for
   /// receiver credits — the per-link backpressure figure the APEnet+ paper
   /// tunes against.
@@ -198,6 +214,7 @@ class LinkPort {
   std::uint64_t data_sent_ = 0;
   std::uint64_t replays_ = 0;
   std::uint64_t dropped_tlps_ = 0;
+  std::uint64_t abandoned_tlps_ = 0;
   TimePs credit_stall_ps_ = 0;
   TimePs stall_since_ = -1;  // head-of-line credit wait start, -1 = not stalled
   Rng* error_rng_ = nullptr;  // shared per-link error process
@@ -218,8 +235,9 @@ class PcieLink {
   /// wire and counted (dropped_tlps) but not destroyed — the data-link layer
   /// never saw their ack DLLPs, so they return to the replay buffer and
   /// retransmit after retrain. Bringing the link back up resumes queued
-  /// traffic. Unlike an NTB-based fabric, a TCA link loss is survivable: the
-  /// host-to-chip connection is unaffected (Section V).
+  /// traffic — unless a route failover abandoned it first (see
+  /// LinkPort::abandon_queued). Unlike an NTB-based fabric, a TCA link loss
+  /// is survivable: the host-to-chip connection is unaffected (Section V).
   void set_up(bool up);
   [[nodiscard]] bool is_up() const { return up_; }
 

@@ -28,6 +28,23 @@ const char* to_string(TlpType type);
 /// id here). Used to route completions back to the issuing device.
 using DeviceId = std::uint16_t;
 
+/// Observer a final-hop PEACH2 chip plants on a MemWrite so the memory
+/// endpoint (host DRAM controller, GPU GDDR queue) can announce the instant
+/// the payload actually commits. This times the PEARL delivery notification
+/// off the real commit — including link serialization, root-complex and
+/// device queueing, and the endpoint's own commit latency — so an ack can
+/// never outrun its data through a congested path. Dropped or abandoned
+/// TLPs never notify: the missing ack is what makes the source DMAC's
+/// watchdog retry the chain.
+class CommitNotifier {
+ public:
+  virtual void on_write_commit(std::uint64_t ack_address,
+                               std::uint8_t tag) = 0;
+
+ protected:
+  ~CommitNotifier() = default;
+};
+
 struct Tlp {
   TlpType type = TlpType::kMemWrite;
 
@@ -46,13 +63,20 @@ struct Tlp {
   /// payload covers the remainder.
   std::uint32_t byte_count_remaining = 0;
 
-  /// PEARL delivery notification: when non-zero on a MemWrite, the chip that
-  /// forwards this TLP out its North port (i.e. delivers it into the
-  /// destination node) sends a kVendorMsg with the same `tag` to this global
-  /// mailbox address. Used by the DMAC's remote-write completion window.
+  /// PEARL delivery notification: when non-zero on a MemWrite, the chip
+  /// that forwards this TLP out its North port (i.e. delivers it into the
+  /// destination node) arranges for a kVendorMsg with the same `tag` to be
+  /// sent to this global mailbox address once the write commits (see
+  /// CommitNotifier). Used by the DMAC's remote-write completion window.
   std::uint64_t ack_address = 0;
 
   std::vector<std::byte> payload;
+
+  /// When non-null on a MemWrite, the committing endpoint calls
+  /// `commit_notifier->on_write_commit(ack_address, tag)` at the simulated
+  /// instant the payload lands in memory. Set by the final-hop chip, which
+  /// leaves `ack_address` populated for the endpoint to echo back.
+  CommitNotifier* commit_notifier = nullptr;
 
   /// Bytes this TLP occupies on the wire (payload + header/DLL/PHY framing),
   /// using the overhead terms of the paper's peak-bandwidth formula.

@@ -159,16 +159,16 @@ sim::Task<> Peach2Chip::forwarding_engine(PortId in_port) {
     }
 
     PortId out;
-    std::uint64_t ack_addr = 0;
-    std::uint8_t ack_tag = 0;
     if (loc.has_value() && loc->node == cfg_.node_id) {
-      // Final hop: Port-N address conversion into the local bus space.
+      // Final hop: Port-N address conversion into the local bus space. An
+      // ack request rides along to the memory endpoint, which calls back
+      // on_write_commit() when the payload actually lands — that callback
+      // (not an estimate made here) times the PEARL delivery notification,
+      // so the ack can never outrun its data through RC/device queues.
       const auto local = convert_to_local(*loc);
       TCA_ASSERT(local.has_value());
-      ack_addr = tlp.ack_address;
-      ack_tag = tlp.tag;
+      if (tlp.ack_address != 0) tlp.commit_notifier = this;
       tlp.address = *local;
-      tlp.ack_address = 0;
       out = PortId::kNorth;
     } else {
       const auto decision = decide(tlp.address);
@@ -188,22 +188,6 @@ sim::Task<> Peach2Chip::forwarding_engine(PortId in_port) {
     in.link->release_rx(wire);
     ++forwarded_;
     ++port_forwards_[idx(out)];
-
-    if (ack_addr != 0) {
-      // PEARL delivery notification back to the source chip's mailbox —
-      // sent once the write has actually committed at the destination:
-      // remaining route pipeline + N-link serialization + host commit.
-      ++acks_sent_;
-      const TimePs commit_delay =
-          (kRouteLatencyPs - kRouteOccupancyPs) +
-          ports_[idx(PortId::kNorth)]->config().serialize_ps(wire) +
-          calib::kHostWriteCommitPs;
-      sched_.schedule_after(commit_delay, [this, ack_addr, ack_tag] {
-        sim::spawn([](Peach2Chip& chip, pcie::Tlp msg) -> sim::Task<> {
-          co_await chip.inject(std::move(msg));
-        }(*this, pcie::Tlp::vendor_msg(ack_addr, cfg_.device_id, ack_tag)));
-      });
-    }
   }
 }
 
@@ -214,10 +198,21 @@ sim::Task<> Peach2Chip::enqueue_egress(PortId out, pcie::Tlp tlp) {
     co_await eg.space->wait();
   }
   eg.reserved_bytes += wire;
-  // Remaining pipeline latency before the TLP reaches the egress FIFO.
+  // Remaining pipeline latency before the TLP reaches the egress FIFO. The
+  // generation captured here detects a failover flushing this port while
+  // the TLP is mid-pipeline: arriving under a stale generation, it joins
+  // the abandoned traffic rather than outliving the flush as a zombie.
+  const std::uint64_t gen = eg.generation;
   sched_.schedule_after(kRouteLatencyPs - kRouteOccupancyPs,
-                        [this, out, t = std::move(tlp)]() mutable {
-                          egress_[idx(out)].queue.push_back(std::move(t));
+                        [this, out, gen, t = std::move(tlp)]() mutable {
+                          Egress& dst = egress_[idx(out)];
+                          if (dst.generation != gen) {
+                            dst.reserved_bytes -= t.wire_bytes();
+                            ++abandoned_;
+                            dst.space->pulse();
+                            return;
+                          }
+                          dst.queue.push_back(std::move(t));
                           pump_egress(out);
                         });
 }
@@ -305,6 +300,31 @@ sim::Task<> Peach2Chip::drain_egress(PortId out, const bool* aborted) {
 
 void Peach2Chip::pulse_egress_waiters() {
   for (std::size_t p = 0; p < kPortCount; ++p) egress_[p].space->pulse();
+}
+
+void Peach2Chip::abandon_egress(PortId port) {
+  Egress& eg = egress_[idx(port)];
+  ++eg.generation;  // mid-pipeline TLPs discard themselves on arrival
+  abandoned_ += eg.queue.size();
+  for (const pcie::Tlp& t : eg.queue) {
+    TCA_ASSERT(eg.reserved_bytes >= t.wire_bytes());
+    eg.reserved_bytes -= t.wire_bytes();
+  }
+  eg.queue.clear();
+  // Freed space may unblock enqueuers, and drain waiters must re-evaluate:
+  // with the queue empty their chains stop gating on bytes that will never
+  // transmit (the missing remote acks make the watchdog retry them).
+  eg.space->pulse();
+}
+
+void Peach2Chip::on_write_commit(std::uint64_t ack_address, std::uint8_t tag) {
+  // The destination memory endpoint confirmed a delivered write has
+  // committed: send the PEARL delivery notification back to the source
+  // chip's mailbox over the fabric.
+  ++acks_sent_;
+  sim::spawn([](Peach2Chip& chip, pcie::Tlp msg) -> sim::Task<> {
+    co_await chip.inject(std::move(msg));
+  }(*this, pcie::Tlp::vendor_msg(ack_address, cfg_.device_id, tag)));
 }
 
 void Peach2Chip::raise_error(std::uint64_t bits) {

@@ -59,7 +59,7 @@ struct Peach2Config {
   std::uint64_t egress_queue_bytes = 1024;
 };
 
-class Peach2Chip : public pcie::TlpSink {
+class Peach2Chip : public pcie::TlpSink, public pcie::CommitNotifier {
  public:
   Peach2Chip(sim::Scheduler& sched, const Peach2Config& config);
   ~Peach2Chip() override;
@@ -147,8 +147,22 @@ class Peach2Chip : public pcie::TlpSink {
   /// a freshly set abort flag. Called by the DMAC on chain abort.
   void pulse_egress_waiters();
 
+  /// Fault recovery: discards every TLP parked in `port`'s egress FIFO and
+  /// any still in the route pipeline toward it. The fabric calls this when
+  /// a failover reroutes traffic away from the cable behind `port`: the
+  /// parked TLPs were routed with the pre-failover tables and would
+  /// otherwise transmit on retrain as stale duplicates of data the driver's
+  /// retry has since redelivered the other way. Their chains never see the
+  /// remote acks, so the watchdog/retry layer owns redelivery.
+  void abandon_egress(PortId port);
+
   // TlpSink.
   void on_tlp(pcie::Tlp tlp, pcie::LinkPort& port) override;
+
+  // CommitNotifier: called by the destination memory endpoint when a write
+  // this chip delivered into its node actually commits. Emits the PEARL
+  // delivery notification back to the source chip's mailbox.
+  void on_write_commit(std::uint64_t ack_address, std::uint8_t tag) override;
 
   // --- NIOS management processor --------------------------------------------
   /// True if a link is attached to the port (cabling).
@@ -175,6 +189,10 @@ class Peach2Chip : public pcie::TlpSink {
   /// Drops specifically due to address-decode misses (no route entry matched
   /// or the decided port is uncabled) — a subset of dropped_tlps().
   [[nodiscard]] std::uint64_t unroutable_tlps() const { return unroutable_; }
+  /// TLPs discarded by abandon_egress() — traffic parked for a dead port
+  /// that a route failover steered around. Not part of dropped_tlps(): an
+  /// abandonment is an accounted recovery action, not a routing failure.
+  [[nodiscard]] std::uint64_t abandoned_tlps() const { return abandoned_; }
   /// Error-interrupt assertions toward the driver (unmasked raises).
   [[nodiscard]] std::uint64_t error_interrupts() const { return error_irqs_; }
 
@@ -188,6 +206,11 @@ class Peach2Chip : public pcie::TlpSink {
     std::deque<pcie::Tlp> queue;
     std::uint64_t reserved_bytes = 0;
     std::unique_ptr<sim::Trigger> space;
+    /// Bumped by abandon_egress(). TLPs in the route-pipeline delay carry
+    /// the generation they were admitted under; a mismatch on arrival means
+    /// a failover flushed this port while they were in flight through the
+    /// pipeline, and they are discarded instead of parked.
+    std::uint64_t generation = 0;
   };
   struct Ingress {
     std::deque<pcie::Tlp> queue;
@@ -228,6 +251,7 @@ class Peach2Chip : public pcie::TlpSink {
   std::uint64_t mailbox_count_ = 0;
   std::array<std::uint64_t, kPortCount> port_forwards_{};
   std::uint64_t unroutable_ = 0;
+  std::uint64_t abandoned_ = 0;
   std::uint64_t error_irqs_ = 0;
 };
 

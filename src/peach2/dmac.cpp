@@ -246,8 +246,21 @@ sim::Task<> DmaController::exec_write(DmaDescriptor d) {
     co_return;
   }
   const std::uint64_t src_off = src->offset - Peach2Chip::kInternalRamOffset;
+  // Every remote memory destination gets a PEARL delivery notification on
+  // the descriptor's final TLP — GPU windows included, or a "reliable" put
+  // into a GPU staging buffer would complete at source-egress drain with no
+  // end-to-end evidence the bytes ever landed. Internal targets are the
+  // mailbox itself: acking them would ack the acks. CPU targets throttle
+  // descriptor issue on the 2-deep window (the Figure 12 small-size
+  // degradation); GPU targets get the full-tag-rotation window — the GPU's
+  // deep request queue absorbs posted writes, so remote GPU bandwidth stays
+  // equal to in-node at all sizes while the chain still holds completion
+  // until every notification is in.
   const bool want_ack =
-      dst->node != chip_.node_id() && dst->target == TcaTarget::kHost;
+      dst->node != chip_.node_id() && dst->target != TcaTarget::kInternal;
+  const std::uint32_t ack_window = dst->target == TcaTarget::kHost
+                                       ? kRemoteAckWindow
+                                       : calib::kGpuRemoteAckWindow;
 
   co_await sim::Delay(sched_, kDescriptorProcessPs);
 
@@ -279,10 +292,10 @@ sim::Task<> DmaController::exec_write(DmaDescriptor d) {
 
   if (want_ack && !aborted_) {
     pending_acks_.push_back(ack_tag);
-    // Window the delivery notifications: the engine may run one descriptor
-    // ahead of the outstanding ack, so per-descriptor cost becomes
-    // max(wire_time, ack_rtt) — the Figure 12 shape.
-    co_await drain_acks(kRemoteAckWindow - 1);
+    // Window the delivery notifications: the engine may run ahead of the
+    // outstanding acks by the destination's window, so per-descriptor cost
+    // becomes max(wire_time, ack_rtt / window) — the Figure 12 shape.
+    co_await drain_acks(ack_window - 1);
   }
   bytes_written_ += d.length;
 }
@@ -352,8 +365,12 @@ sim::Task<> DmaController::exec_pipelined(DmaDescriptor d) {
   }
   const auto local_src = chip_.convert_to_local(*src);
   TCA_ASSERT(local_src.has_value());
+  // Same remote-destination notification and windowing rules as exec_write.
   const bool want_ack =
-      dst->node != chip_.node_id() && dst->target == TcaTarget::kHost;
+      dst->node != chip_.node_id() && dst->target != TcaTarget::kInternal;
+  const std::uint32_t ack_window = dst->target == TcaTarget::kHost
+                                       ? kRemoteAckWindow
+                                       : calib::kGpuRemoteAckWindow;
 
   co_await sim::Delay(sched_, kDescriptorProcessPs);
 
@@ -386,7 +403,7 @@ sim::Task<> DmaController::exec_pipelined(DmaDescriptor d) {
                           &aborted_);
     issued += chunk;
   }
-  co_await drain_acks(kRemoteAckWindow - 1);
+  co_await drain_acks(ack_window - 1);
   bytes_read_ += d.length;
   bytes_written_ += d.length;
 }

@@ -1,11 +1,13 @@
 // Chaining DMA controller of the PEACH2 chip (Sections III-F2, IV-A/B).
 //
 // Three transfer kinds (see DmaDirection):
-//  * kWrite — internal RAM -> CPU/GPU, posted MWr TLPs. Remote writes to
-//    *host* memory request a PEARL delivery notification on their final TLP;
-//    the engine overlaps each descriptor's notification with the next
-//    descriptor's data (kRemoteAckWindow deep), which is what makes small
-//    remote transfers latency-bound and 4 KiB transfers line-rate (Fig. 12).
+//  * kWrite — internal RAM -> CPU/GPU, posted MWr TLPs. Remote writes
+//    request a PEARL delivery notification on each descriptor's final TLP;
+//    the engine overlaps notifications with subsequent descriptors' data
+//    (kRemoteAckWindow deep for CPU targets — what makes small remote
+//    transfers latency-bound and 4 KiB line-rate; kGpuRemoteAckWindow deep
+//    for GPU targets, whose request queue absorbs posted writes) (Fig. 12).
+//    The chain holds completion until every notification is in.
 //  * kRead — local CPU/GPU -> internal RAM via tag-limited MRd requests,
 //    paced at kReadIssueIntervalPs. Remote reads are rejected: "PEACH2
 //    supports only RDMA put protocol".

@@ -230,7 +230,7 @@ TEST(SubCluster, RemoteDmaWriteToHostDeliversAndAcks) {
   EXPECT_EQ(tca.chip(1).acks_sent(), 1u);
 }
 
-TEST(SubCluster, RemoteDmaWriteToGpuNeedsNoAck) {
+TEST(SubCluster, RemoteDmaWriteToGpuGetsDeliveryAck) {
   sim::Scheduler sched;
   SubCluster tca(sched, small_cluster(2));
   Peach2Driver& drv = tca.driver(0);
@@ -254,7 +254,13 @@ TEST(SubCluster, RemoteDmaWriteToGpuNeedsNoAck) {
   std::vector<std::byte> out(4096);
   gpu.peek(ptr.value(), out);
   EXPECT_EQ(out, data);
-  EXPECT_EQ(tca.chip(0).mailbox_count(), 0u);  // GPU writes post freely
+  // Remote GPU destinations get the same end-to-end PEARL notification as
+  // host destinations: without it a "reliable" put into a GPU staging
+  // buffer would complete at source-egress drain with no evidence the
+  // bytes ever landed (stale data under faults). The destination chip
+  // sends the ack when the GDDR write actually commits.
+  EXPECT_EQ(tca.chip(0).mailbox_count(), 1u);
+  EXPECT_EQ(tca.chip(1).acks_sent(), 1u);
 }
 
 TEST(SubCluster, RemoteReadRejectedPutOnly) {

@@ -12,6 +12,7 @@
 #include "common/trace.h"
 #include "fabric/sub_cluster.h"
 #include "fabric/topology.h"
+#include "peach2/nios.h"
 
 namespace tca::fabric {
 namespace {
@@ -317,6 +318,101 @@ TEST(TorusFailover, WithoutFailoverTheWatchdogSurfacesTimedOut) {
   EXPECT_EQ(result.status.code(), ErrorCode::kTimedOut);
   EXPECT_EQ(result.attempts, 2u);
   EXPECT_EQ(tca.failovers(), 0u);
+}
+
+// --- Overlapping fault windows ----------------------------------------------
+
+TEST(OverlappingFaults, RetrainWhileSecondSameDimCableDown) {
+  sim::Scheduler sched;
+  auto config = small_cluster(TopologySpec::torus({4, 4}));
+  // Row 0's x-ring (cables 0..3): cable 0 dies, the reroute goes -x, then
+  // cable 1 dies inside the detour (row 0 is now partitioned around node
+  // 1), and cable 0 retrains while cable 1 is still down. Every window
+  // boundary forces a route rewrite; the registers must track each one
+  // and end consistent with the final link state.
+  config.fault_plan.cut(0, us(5)).cut(1, us(20)).up(0, us(40));
+  SubCluster tca(sched, config);
+
+  std::vector<std::byte> data(64 << 10);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>(i * 29 & 0xff);
+  }
+  tca.chip(0).internal_ram().write(0, data);
+  // Issued into the double-fault overlap: both arcs of row 0 are dirty
+  // until cable 0 retrains, so completion requires riding out the overlap.
+  auto t = tca.driver(0).run_chain_reliable(
+      {DmaDescriptor{.src = tca.driver(0).internal_global(0),
+                     .dst = tca.global_host(1, 0x2000),
+                     .length = 64 << 10,
+                     .direction = DmaDirection::kWrite}},
+      driver::RetryPolicy{.max_attempts = 8, .timeout_ps = us(200)});
+  sched.run();
+  ASSERT_TRUE(t.done());
+  EXPECT_TRUE(t.result().status.is_ok()) << t.result().status.to_string();
+
+  // cable 0 down, cable 1 down (tie-break rewrites), cable 0 up again:
+  // at least two distinct degradation rewrites and one restoration.
+  EXPECT_GE(tca.failovers(), 2u);
+  EXPECT_GE(tca.failbacks(), 1u);
+  EXPECT_FALSE(tca.cable_usable(1));
+  EXPECT_TRUE(tca.cable_usable(0));
+  EXPECT_TRUE(tca.routes_consistent());
+  // Final state: cable 1 (nodes 1-2) is the only fault. Node 0 reaches
+  // node 1 the +x way; node 2 reaches node 1 the long way around row 0.
+  const auto port01 = tca.chip(0).routing().lookup(tca.layout().slice_base(1));
+  ASSERT_TRUE(port01.has_value());
+  EXPECT_EQ(*port01, peach2::PortId::kEast);
+  const auto port21 = tca.chip(2).routing().lookup(tca.layout().slice_base(1));
+  ASSERT_TRUE(port21.has_value());
+  EXPECT_EQ(*port21, peach2::PortId::kEast);
+
+  std::vector<std::byte> out(64 << 10);
+  tca.node(1).cpu().read_host(0x2000, out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(OverlappingFaults, FlapsShorterThanServiceDelayNeverReroute) {
+  sim::Scheduler sched;
+  auto config = small_cluster(TopologySpec::torus({4, 4}));
+  // Two back-to-back flaps, each far shorter than the NIOS 2 us service
+  // delay: by the time the management processor services either down
+  // interrupt the link is already retrained, so the transition is
+  // superseded — no failover, no failback, no route rewrite, no chain
+  // quiesce. The link layer's replay buffer absorbs the blips and the
+  // in-flight chain completes with nothing but a delay.
+  const TimePs service = peach2::NiosController::kServiceDelay;
+  ASSERT_LT(units::ns(300) * 2 + units::ns(200), service);
+  config.fault_plan.flap(0, us(5), units::ns(300))
+      .flap(0, us(5) + units::ns(600), units::ns(200));
+  SubCluster tca(sched, config);
+
+  std::vector<std::byte> data(64 << 10);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>(i * 31 & 0xff);
+  }
+  tca.chip(0).internal_ram().write(0, data);
+  auto t = tca.driver(0).run_chain(
+      {DmaDescriptor{.src = tca.driver(0).internal_global(0),
+                     .dst = tca.global_host(1, 0x2000),
+                     .length = 64 << 10,
+                     .direction = DmaDirection::kWrite}});
+  sched.run();
+  ASSERT_TRUE(t.done());
+
+  EXPECT_EQ(tca.failovers(), 0u);
+  EXPECT_EQ(tca.failbacks(), 0u);
+  EXPECT_EQ(tca.chain_quiesces(), 0u);
+  EXPECT_EQ(tca.abandoned_tlps(), 0u);
+  EXPECT_TRUE(tca.cable_usable(0));
+  EXPECT_TRUE(tca.routes_consistent());
+  // The surprise-downs did knock TLPs off the wire; replay recovered them.
+  EXPECT_GT(tca.cable(0).end_a().dropped_tlps() +
+                tca.cable(0).end_b().dropped_tlps(),
+            0u);
+
+  std::vector<std::byte> out(64 << 10);
+  tca.node(1).cpu().read_host(0x2000, out);
+  EXPECT_EQ(out, data);
 }
 
 }  // namespace

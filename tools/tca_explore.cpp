@@ -366,6 +366,7 @@ int run_workload(const Options& opt) {
     for (std::uint32_t n = 0; n < opt.nodes; ++n) {
       error_irqs += tca.chip(n).error_interrupts();
     }
+    std::printf("fault-plan: %s\n", opt.fault_plan.to_string().c_str());
     std::printf(
         "recovery: failovers=%llu failbacks=%llu dropped_tlps=%llu "
         "replays=%llu error_irqs=%llu\n",
@@ -537,6 +538,7 @@ int main(int argc, char** argv) {
     for (std::uint32_t n = 0; n < opt.nodes; ++n) {
       error_irqs += tca.chip(n).error_interrupts();
     }
+    std::printf("fault-plan: %s\n", opt.fault_plan.to_string().c_str());
     std::printf(
         "recovery: failovers=%llu failbacks=%llu dropped_tlps=%llu "
         "replays=%llu error_irqs=%llu watchdog_timeouts=%llu retries=%llu\n",
