@@ -12,32 +12,35 @@
 # corpus replay), and tca_explore smoke invocations (--stats and
 # --workload).
 #
-# For a full instrumented pass, configure with -DTCA_SANITIZE=address (or
-# undefined) and re-run the whole suite.
+# The build trees are CMake presets (CMakePresets.json): `check` is the
+# Release gate, `asan`/`tsan` the instrumented suites, `perf` the bench
+# tree. For a full instrumented pass: cmake --preset asan && ctest
+# --preset asan (drop the filter by running ctest --test-dir
+# build-check-asan directly).
 set -eu
 cd "$(dirname "$0")/.."
 
 BUILD=build-check
 
-cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
-cmake --build "$BUILD" -j
+cmake --preset check > /dev/null
+cmake --build --preset check -j
 
 echo "== tca_lint (project invariants) =="
-"$BUILD"/tools/tca_lint/tca_lint --root .
+# --cache-dir: per-file lex/analysis results keyed by content hash, so
+# repeated gate runs only re-analyze what changed.
+"$BUILD"/tools/tca_lint/tca_lint --root . --cache-dir "$BUILD"/lint-cache
 
 echo "== clang-tidy (baseline diff; skips when not installed) =="
 scripts/clang_tidy.sh "$BUILD"
 
 echo "== tests =="
-ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" -LE soak
+ctest --preset check -j "$(nproc)"
 
 echo "== fault suites under ASan/UBSan =="
 SAN_BUILD=build-check-asan
-cmake -B "$SAN_BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DTCA_SANITIZE=address,undefined > /dev/null
-cmake --build "$SAN_BUILD" -j --target fault_test fault_recovery_test coll_test
-ctest --test-dir "$SAN_BUILD" --output-on-failure -j "$(nproc)" -LE soak \
-  -R '^(Fault|Nios|DmacErrors|GpuFaults|FaultPlan|LinkDown|ErrorRegisters|Recovery|Determinism|Coll)\.'
+cmake --preset asan > /dev/null
+cmake --build --preset asan -j --target fault_test fault_recovery_test coll_test
+ctest --preset asan -j "$(nproc)"
 
 echo "== sharded scheduler suite under TSan (skips when unsupported) =="
 # Epoch mode runs shard workers on real threads; TSan is the gate that the
@@ -50,11 +53,9 @@ printf 'int main() { return 0; }\n' > "$TSAN_BUILD/tsan_probe.cpp"
 if c++ -fsanitize=thread "$TSAN_BUILD/tsan_probe.cpp" \
      -o "$TSAN_BUILD/tsan_probe" 2> /dev/null \
    && "$TSAN_BUILD/tsan_probe" 2> /dev/null; then
-  cmake -B "$TSAN_BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DTCA_SANITIZE=thread > /dev/null
-  cmake --build "$TSAN_BUILD" -j --target scheduler_stress_test
-  ctest --test-dir "$TSAN_BUILD" --output-on-failure -j "$(nproc)" \
-    -R '^SchedulerStress\.'
+  cmake --preset tsan > /dev/null
+  cmake --build --preset tsan -j --target scheduler_stress_test
+  ctest --preset tsan -j "$(nproc)"
 else
   echo "TSan probe failed to build or run; skipping the TSan stage"
 fi

@@ -25,6 +25,16 @@ namespace {
 //   word 9           halo ack       written by next ("I consumed your to-next put")
 //   word 10+q        eager data     written by rank q (deposits made)
 //   word 10+n+q      eager ack      written by rank q (deposits consumed)
+// The partition proof the coll-flag-overlap lint checks: for every world
+// size n in [1, 16], the per-purpose flag-word regions below must be
+// pairwise disjoint and fit in the kEagerWordBase + 2n words each rank maps.
+// tca-flags: param(n, 1, 16)
+// tca-flags: region(ring-data, kRingDataWord, 1), region(ring-ack, kRingAckWord, 1)
+// tca-flags: region(barrier-rounds, kBarrierWordBase, 4)
+// tca-flags: region(halo-data-prev, kHaloDataPrevWord, 1), region(halo-data-next, kHaloDataNextWord, 1)
+// tca-flags: region(halo-ack-prev, kHaloAckPrevWord, 1), region(halo-ack-next, kHaloAckNextWord, 1)
+// tca-flags: region(eager-data, kEagerWordBase, n), region(eager-ack, kEagerWordBase + n, n)
+// tca-flags: total(kEagerWordBase + 2 * n)
 constexpr std::uint32_t kRingDataWord = 0;
 constexpr std::uint32_t kRingAckWord = 1;
 constexpr std::uint32_t kBarrierWordBase = 2;  // 4 rounds cover <= 16 ranks

@@ -213,10 +213,10 @@ sim::Task<TimePs> Peach2Driver::run_chain_auto(
     std::vector<peach2::DmaDescriptor> chain) {
   co_await channel_sem_.acquire();
   TCA_ASSERT(!free_channels_.empty());
-  const int channel = free_channels_.back();
+  const int channel = free_channels_.back();  // tca-protocol: acquire(dma-channel)
   free_channels_.pop_back();
   const TimePs elapsed = co_await run_chain(std::move(chain), channel);
-  free_channels_.push_back(channel);
+  free_channels_.push_back(channel);  // tca-protocol: release(dma-channel)
   channel_sem_.release();
   co_return elapsed;
 }
@@ -225,11 +225,11 @@ sim::Task<Status> Peach2Driver::run_chain_checked(
     std::vector<peach2::DmaDescriptor> chain) {
   co_await channel_sem_.acquire();
   TCA_ASSERT(!free_channels_.empty());
-  const int channel = free_channels_.back();
+  const int channel = free_channels_.back();  // tca-protocol: acquire(dma-channel)
   free_channels_.pop_back();
   co_await run_chain(std::move(chain), channel);
   const Status status = chain_status(channel);
-  free_channels_.push_back(channel);
+  free_channels_.push_back(channel);  // tca-protocol: release(dma-channel)
   channel_sem_.release();
   co_return status;
 }
@@ -239,7 +239,7 @@ sim::Task<Peach2Driver::ChainResult> Peach2Driver::run_chain_reliable(
   TCA_ASSERT(policy.max_attempts > 0);
   co_await channel_sem_.acquire();
   TCA_ASSERT(!free_channels_.empty());
-  const int channel = free_channels_.back();
+  const int channel = free_channels_.back();  // tca-protocol: acquire(dma-channel)
   free_channels_.pop_back();
 
   ChainResult result;
@@ -266,7 +266,7 @@ sim::Task<Peach2Driver::ChainResult> Peach2Driver::run_chain_reliable(
     backoff *= policy.backoff_multiplier;
   }
 
-  free_channels_.push_back(channel);
+  free_channels_.push_back(channel);  // tca-protocol: release(dma-channel)
   channel_sem_.release();
   co_return result;
 }

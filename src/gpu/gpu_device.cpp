@@ -109,6 +109,7 @@ sim::Task<> GpuDevice::memcpy_d2h(DevPtr src, std::span<std::byte> dst) {
   gddr_.read(src, dst);
 }
 
+// tca-protocol: owns(rx-credit)
 void GpuDevice::on_tlp(pcie::Tlp tlp, pcie::LinkPort& port) {
   const std::uint64_t wire = tlp.wire_bytes();
   switch (tlp.type) {
@@ -127,10 +128,12 @@ void GpuDevice::on_tlp(pcie::Tlp tlp, pcie::LinkPort& port) {
         auto data = std::move(tlp.payload);
         sched_.schedule_after(
             cfg_.write_commit_ps,
+            // tca-protocol: commit-point, owns(commit-ack)
             [this, offset, d = std::move(data),
              notifier = tlp.commit_notifier, ack = tlp.ack_address,
              tag = tlp.tag] {
-              gddr_.write(offset, d);
+              gddr_.write(offset, d);  // tca-protocol: commit
+              // tca-protocol: release(commit-ack)
               if (notifier != nullptr) notifier->on_write_commit(ack, tag);
             });
       }
@@ -144,9 +147,10 @@ void GpuDevice::on_tlp(pcie::Tlp tlp, pcie::LinkPort& port) {
       port.release_rx(wire);
       break;
     }
-    case pcie::TlpType::kCompletion:
-    case pcie::TlpType::kVendorMsg:
-      // GPUs never issue MRd in this model and PEARL messages target PEACH2.
+    default:
+      // Completions and vendor messages: GPUs never issue MRd in this model
+      // and PEARL messages target PEACH2. The explicit default keeps the
+      // rx-credit proof total — every inbound TLP returns its credits.
       ++access_errors_;
       port.release_rx(wire);
       break;

@@ -50,6 +50,7 @@ void RootComplex::inject_from_cpu(pcie::Tlp tlp) {
   route(std::move(tlp), /*arrived_via_qpi=*/false);
 }
 
+// tca-protocol: owns(rx-credit)
 void RootComplex::on_tlp(pcie::Tlp tlp, pcie::LinkPort& port) {
   // The RC has ample internal buffering: return link credits on receipt.
   port.release_rx(tlp.wire_bytes());
@@ -101,9 +102,11 @@ void RootComplex::handle_host_write(pcie::Tlp tlp) {
   const std::uint64_t offset = tlp.address - host_base_;
   sched_.schedule_after(
       kHostWriteCommitPs,
+      // tca-protocol: commit-point, owns(commit-ack)
       [this, offset, data = std::move(tlp.payload),
        notifier = tlp.commit_notifier, ack = tlp.ack_address, tag = tlp.tag] {
-        host_dram_.write(offset, data);
+        host_dram_.write(offset, data);  // tca-protocol: commit
+        // tca-protocol: release(commit-ack)
         if (notifier != nullptr) notifier->on_write_commit(ack, tag);
       });
 }

@@ -106,6 +106,7 @@ class LinkPort {
   void set_sink(TlpSink* sink) { sink_ = sink; }
 
   /// Returns receive credits after consuming/forwarding an inbound TLP.
+  // tca-protocol: releases(rx-credit)
   void release_rx(std::uint64_t wire_bytes);
 
   /// True when nothing is queued and the wire is idle (all accepted TLPs

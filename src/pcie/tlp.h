@@ -38,6 +38,7 @@ using DeviceId = std::uint16_t;
 /// watchdog retry the chain.
 class CommitNotifier {
  public:
+  // tca-protocol: acks-on-commit
   virtual void on_write_commit(std::uint64_t ack_address,
                                std::uint8_t tag) = 0;
 
@@ -94,6 +95,7 @@ struct Tlp {
                       DeviceId requester, std::uint8_t tag);
   static Tlp completion(const Tlp& request, std::span<const std::byte> data,
                         std::uint32_t byte_count_remaining);
+  // tca-protocol: acks-on-commit
   static Tlp vendor_msg(std::uint64_t address, DeviceId requester,
                         std::uint8_t tag);
 };

@@ -317,6 +317,7 @@ void Peach2Chip::abandon_egress(PortId port) {
   eg.space->pulse();
 }
 
+// tca-protocol: acks-on-commit
 void Peach2Chip::on_write_commit(std::uint64_t ack_address, std::uint8_t tag) {
   // The destination memory endpoint confirmed a delivered write has
   // committed: send the PEARL delivery notification back to the source

@@ -335,6 +335,7 @@ sim::Task<> DmaController::exec_read(DmaDescriptor d) {
       release_tag(tag);
       co_return;
     }
+    // tca-protocol: transfer(dma-tag)
     pending_reads_[tag] = PendingRead{.dst_internal_offset = dst_off + issued,
                                       .remaining = chunk};
     pending_reads_[tag].timeout_event = sched_.schedule_after(
@@ -396,7 +397,7 @@ sim::Task<> DmaController::exec_pipelined(DmaDescriptor d) {
     }
     pending.timeout_event = sched_.schedule_after(
         calib::kCompletionTimeoutPs, [this, tag] { on_completion_timeout(tag); });
-    pending_reads_[tag] = pending;
+    pending_reads_[tag] = pending;  // tca-protocol: transfer(dma-tag)
     ++outstanding_reads_;
     co_await chip_.inject(pcie::Tlp::mem_read(*local_src + issued, chunk,
                                               chip_.device_id(), tag),
@@ -473,6 +474,7 @@ sim::Task<> DmaController::drain_acks(std::size_t max_pending) {
   }
 }
 
+// tca-protocol: acquires(dma-tag)
 sim::Task<std::uint8_t> DmaController::acquire_tag() {
   co_await tag_sem_.acquire();
   TCA_ASSERT(!free_tags_.empty());
@@ -481,6 +483,7 @@ sim::Task<std::uint8_t> DmaController::acquire_tag() {
   co_return tag;
 }
 
+// tca-protocol: releases(dma-tag)
 void DmaController::release_tag(std::uint8_t tag) {
   free_tags_.push_back(tag);
   tag_sem_.release();

@@ -163,7 +163,13 @@ class DmaController {
   void fail_descriptor(ErrorCode code);
   void on_completion_timeout(std::uint8_t tag);
 
+  /// Completion-tag pool. Every tag handed out by acquire_tag must reach
+  /// exactly one release_tag or be transferred into pending_reads_ (whose
+  /// completion/timeout/abort paths release it) — proved by the proto-leak
+  /// lint over the annotations below.
+  // tca-protocol: acquires(dma-tag)
   sim::Task<std::uint8_t> acquire_tag();
+  // tca-protocol: releases(dma-tag)
   void release_tag(std::uint8_t tag);
 
   /// Next delivery-notification tag, rolling within this channel's

@@ -135,6 +135,7 @@ namespace detail {
 inline thread_local FrameArena* t_current_arena = nullptr;
 }  // namespace detail
 
+// tca-protocol: borrows(arena)
 [[nodiscard]] inline FrameArena* current_arena() {
   return detail::t_current_arena;
 }

@@ -1,0 +1,16 @@
+// Seeded violation: coll-flag-overlap. The ack region starts inside the
+// data region once the world size exceeds the gap between the bases.
+#include <cstdint>
+
+namespace fix {
+
+constexpr std::uint32_t kDataBase = 0;
+constexpr std::uint32_t kAckBase = 4;
+
+// tca-flags: param(n, 1, 8)
+// tca-flags: region(data, kDataBase, n), region(ack, kAckBase, n)
+// tca-flags: total(kAckBase + 2 * n)
+inline std::uint32_t data_word(std::uint32_t q) { return kDataBase + q; }
+inline std::uint32_t ack_word(std::uint32_t q) { return kAckBase + q; }
+
+}  // namespace fix

@@ -1,0 +1,17 @@
+// Clean twin of coll_flag_overlap_bad.cpp: the ack region is based past the
+// data region for every parameter value, and both stay under the total.
+#include <cstdint>
+
+namespace fix {
+
+constexpr std::uint32_t kDataBase = 0;
+
+// tca-flags: param(n, 1, 8)
+// tca-flags: region(data, kDataBase, n), region(ack, kDataBase + n, n)
+// tca-flags: total(kDataBase + 2 * n)
+inline std::uint32_t data_word(std::uint32_t q) { return kDataBase + q; }
+inline std::uint32_t ack_word(std::uint32_t n, std::uint32_t q) {
+  return kDataBase + n + q;
+}
+
+}  // namespace fix

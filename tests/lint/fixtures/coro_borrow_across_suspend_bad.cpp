@@ -1,0 +1,29 @@
+// Seeded violation: coro-borrow-across-suspend. The arena frame pointer is
+// borrowed before the suspension; by resume time the scheduler may be
+// running the coroutine on a different shard whose arena recycled it.
+namespace fix {
+
+struct Arena {
+  int* alloc(int bytes);
+};
+
+// tca-protocol: borrows(arena)
+Arena* current_arena();
+
+struct Awaitable {
+  bool await_ready();
+  void await_suspend(int h);
+  void await_resume();
+};
+
+struct Task {
+  struct promise_type;
+};
+
+Task stale(Awaitable delay) {
+  Arena* frame = current_arena();
+  co_await delay;
+  frame->alloc(64);  // BUG: the borrow crossed the suspension
+}
+
+}  // namespace fix

@@ -1,0 +1,30 @@
+// Clean twin of coro_borrow_across_suspend_bad.cpp: the borrow is used
+// before the suspension and re-borrowed fresh after resuming.
+namespace fix {
+
+struct Arena {
+  int* alloc(int bytes);
+};
+
+// tca-protocol: borrows(arena)
+Arena* current_arena();
+
+struct Awaitable {
+  bool await_ready();
+  void await_suspend(int h);
+  void await_resume();
+};
+
+struct Task {
+  struct promise_type;
+};
+
+Task fresh(Awaitable delay) {
+  Arena* frame = current_arena();
+  frame->alloc(64);
+  co_await delay;
+  frame = current_arena();  // re-borrow after resume
+  frame->alloc(64);
+}
+
+}  // namespace fix

@@ -1,0 +1,25 @@
+// Seeded violation: proto-ack-before-commit. This is the PR 8 chaos-found
+// ack-outruns-data-commit bug shape: the PEARL delivery notification fires
+// off a latency estimate before the payload actually lands in memory.
+#include <cstdint>
+
+namespace fix {
+
+struct Notifier {
+  // tca-protocol: acks-on-commit
+  void on_write_commit(std::uint64_t ack_address, std::uint8_t tag);
+};
+
+struct Dram {
+  void write(std::uint64_t offset, int data);
+};
+
+// tca-protocol: commit-point, owns(commit-ack)
+void deliver(Dram& dram, Notifier* notifier, std::uint64_t offset,
+             std::uint64_t ack, std::uint8_t tag) {
+  // tca-protocol: release(commit-ack)
+  if (notifier != nullptr) notifier->on_write_commit(ack, tag);  // BUG
+  dram.write(offset, 1);  // tca-protocol: commit
+}
+
+}  // namespace fix

@@ -1,0 +1,25 @@
+// Clean twin of proto_ack_before_commit_bad.cpp: the notification is only
+// reachable after the commit statement, exactly like the production
+// RootComplex / GpuDevice commit lambdas.
+#include <cstdint>
+
+namespace fix {
+
+struct Notifier {
+  // tca-protocol: acks-on-commit
+  void on_write_commit(std::uint64_t ack_address, std::uint8_t tag);
+};
+
+struct Dram {
+  void write(std::uint64_t offset, int data);
+};
+
+// tca-protocol: commit-point, owns(commit-ack)
+void deliver(Dram& dram, Notifier* notifier, std::uint64_t offset,
+             std::uint64_t ack, std::uint8_t tag) {
+  dram.write(offset, 1);  // tca-protocol: commit
+  // tca-protocol: release(commit-ack)
+  if (notifier != nullptr) notifier->on_write_commit(ack, tag);
+}
+
+}  // namespace fix

@@ -1,0 +1,16 @@
+// Seeded violation: proto-bad-annotation, twice — a typoed clause name and
+// a statement annotation whose statement was deleted out from under it.
+namespace fix {
+
+struct Pool {
+  // tca-protocol: aquires(tag)
+  int claim();
+};
+
+int strand(Pool& pool) {
+  // tca-protocol: release(tag)
+
+  return pool.claim();
+}
+
+}  // namespace fix

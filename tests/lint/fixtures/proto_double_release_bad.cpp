@@ -1,0 +1,20 @@
+// Seeded violation: proto-double-release. The error path releases the tag
+// and then falls through to the common release.
+#include <cstdint>
+
+namespace fix {
+
+struct TagPool {
+  // tca-protocol: acquires(tag)
+  std::uint8_t acquire_tag();
+  // tca-protocol: releases(tag)
+  void release_tag(std::uint8_t tag);
+};
+
+void twice(TagPool& pool) {
+  const std::uint8_t tag = pool.acquire_tag();
+  pool.release_tag(tag);
+  pool.release_tag(tag);  // BUG: nothing is held any more
+}
+
+}  // namespace fix

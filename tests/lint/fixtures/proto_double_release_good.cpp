@@ -1,0 +1,24 @@
+// Clean twin of proto_double_release_bad.cpp: the branchy release pattern
+// discharges exactly once on every path.
+#include <cstdint>
+
+namespace fix {
+
+struct TagPool {
+  // tca-protocol: acquires(tag)
+  std::uint8_t acquire_tag();
+  // tca-protocol: releases(tag)
+  void release_tag(std::uint8_t tag);
+  bool fast_path = false;
+};
+
+void once(TagPool& pool) {
+  const std::uint8_t tag = pool.acquire_tag();
+  if (pool.fast_path) {
+    pool.release_tag(tag);
+    return;
+  }
+  pool.release_tag(tag);
+}
+
+}  // namespace fix

@@ -1,0 +1,24 @@
+// Seeded violation: proto-leak. The abort path returns while still holding
+// the acquired tag — one of the lifecycles the PR 8 chaos fuzzer could only
+// find dynamically.
+#include <cstdint>
+
+namespace fix {
+
+struct TagPool {
+  // tca-protocol: acquires(tag)
+  std::uint8_t acquire_tag();
+  // tca-protocol: releases(tag)
+  void release_tag(std::uint8_t tag);
+  bool aborted = false;
+};
+
+void use_one(TagPool& pool) {
+  const std::uint8_t tag = pool.acquire_tag();
+  if (pool.aborted) {
+    return;  // BUG: still holding `tag`
+  }
+  pool.release_tag(tag);
+}
+
+}  // namespace fix

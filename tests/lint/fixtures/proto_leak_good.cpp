@@ -1,0 +1,37 @@
+// Clean twin of proto_leak_bad.cpp: every path discharges the tag, either
+// by releasing it or by transferring ownership to the completion table.
+#include <cstdint>
+
+namespace fix {
+
+struct TagPool {
+  // tca-protocol: acquires(tag)
+  std::uint8_t acquire_tag();
+  // tca-protocol: releases(tag)
+  void release_tag(std::uint8_t tag);
+  void park(std::uint8_t tag);
+  bool aborted = false;
+};
+
+void use_one(TagPool& pool) {
+  const std::uint8_t tag = pool.acquire_tag();
+  if (pool.aborted) {
+    pool.release_tag(tag);
+    return;
+  }
+  pool.release_tag(tag);
+}
+
+void hand_off(TagPool& pool) {
+  const std::uint8_t tag = pool.acquire_tag();
+  pool.park(tag);  // tca-protocol: transfer(tag)
+}
+
+void acquire_in_loop(TagPool& pool, int n) {
+  for (int i = 0; i < n; ++i) {
+    const std::uint8_t tag = pool.acquire_tag();
+    pool.release_tag(tag);
+  }
+}
+
+}  // namespace fix

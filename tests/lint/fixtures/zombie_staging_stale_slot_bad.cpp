@@ -1,0 +1,26 @@
+// Reintroduction fixture for the PR 8 chaos-found zombie-staging-stale-slot
+// bug: the commit path recycles the staging slot only for host-destination
+// writes, so a GPU-destination write leaves its slot marked busy forever
+// and the ring eventually wedges.
+namespace fix {
+
+struct StagingRing {
+  // tca-protocol: acquires(staging-slot)
+  int claim_slot();
+  // tca-protocol: releases(staging-slot)
+  void recycle_slot(int slot);
+  void copy_into(int slot);
+};
+
+enum class Dest { kHost, kGpu };
+
+void stage_and_commit(StagingRing& ring, Dest dest) {
+  const int slot = ring.claim_slot();
+  ring.copy_into(slot);
+  if (dest == Dest::kHost) {
+    ring.recycle_slot(slot);
+  }
+  // BUG: the kGpu path exits with the slot still claimed
+}
+
+}  // namespace fix

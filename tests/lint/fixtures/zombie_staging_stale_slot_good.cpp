@@ -1,0 +1,25 @@
+// Clean twin of zombie_staging_stale_slot_bad.cpp: both destinations
+// recycle the staging slot once the copy lands.
+namespace fix {
+
+struct StagingRing {
+  // tca-protocol: acquires(staging-slot)
+  int claim_slot();
+  // tca-protocol: releases(staging-slot)
+  void recycle_slot(int slot);
+  void copy_into(int slot);
+};
+
+enum class Dest { kHost, kGpu };
+
+void stage_and_commit(StagingRing& ring, Dest dest) {
+  const int slot = ring.claim_slot();
+  ring.copy_into(slot);
+  if (dest == Dest::kHost) {
+    ring.recycle_slot(slot);
+  } else {
+    ring.recycle_slot(slot);
+  }
+}
+
+}  // namespace fix

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tca_lint/cfg.h"
+#include "tca_lint/lexer.h"
 #include "tca_lint/lint.h"
 
 namespace {
@@ -153,11 +155,204 @@ TEST(LintSuppression, BareAllowIsAFindingAndDoesNotSuppress) {
   EXPECT_TRUE(only_rules(fs, {"lint-bad-suppression", "det-wall-clock"}));
 }
 
+TEST(LintProtocol, LeakOnAbortPathFlagged) {
+  const auto fs = lint_file("proto_leak_bad.cpp");
+  EXPECT_EQ(count_rule(fs, "proto-leak"), 1u);
+  EXPECT_TRUE(only_rules(fs, {"proto-leak"}));
+}
+
+TEST(LintProtocol, BalancedAndTransferredLifecyclesPass) {
+  EXPECT_TRUE(lint_file("proto_leak_good.cpp").empty());
+}
+
+TEST(LintProtocol, DoubleReleaseFlagged) {
+  const auto fs = lint_file("proto_double_release_bad.cpp");
+  EXPECT_EQ(count_rule(fs, "proto-double-release"), 1u);
+  EXPECT_TRUE(only_rules(fs, {"proto-double-release"}));
+}
+
+TEST(LintProtocol, ExactlyOnceReleasePasses) {
+  EXPECT_TRUE(lint_file("proto_double_release_good.cpp").empty());
+}
+
+TEST(LintProtocol, AckBeforeCommitFlagged) {
+  const auto fs = lint_file("proto_ack_before_commit_bad.cpp");
+  EXPECT_EQ(count_rule(fs, "proto-ack-before-commit"), 1u);
+  EXPECT_TRUE(only_rules(fs, {"proto-ack-before-commit"}));
+}
+
+TEST(LintProtocol, AckAfterCommitPasses) {
+  EXPECT_TRUE(lint_file("proto_ack_before_commit_good.cpp").empty());
+}
+
+// Reintroduction gate for the second PR 8 chaos bug: recycling the staging
+// slot on only one destination path is a statically provable leak now.
+TEST(LintProtocol, ZombieStagingStaleSlotReintroductionFlagged) {
+  const auto fs = lint_file("zombie_staging_stale_slot_bad.cpp");
+  EXPECT_EQ(count_rule(fs, "proto-leak"), 1u);
+  EXPECT_TRUE(only_rules(fs, {"proto-leak"}));
+}
+
+TEST(LintProtocol, StagingSlotRecycledOnEveryPathPasses) {
+  EXPECT_TRUE(lint_file("zombie_staging_stale_slot_good.cpp").empty());
+}
+
+TEST(LintProtocol, BadAnnotationsAreLoud) {
+  const auto fs = lint_file("proto_bad_annotation_bad.cpp");
+  // A typoed clause name and a dangling statement annotation.
+  EXPECT_EQ(count_rule(fs, "proto-bad-annotation"), 2u);
+  EXPECT_TRUE(only_rules(fs, {"proto-bad-annotation"}));
+}
+
+TEST(LintProtocol, BorrowAcrossSuspendFlagged) {
+  const auto fs = lint_file("coro_borrow_across_suspend_bad.cpp");
+  EXPECT_EQ(count_rule(fs, "coro-borrow-across-suspend"), 1u);
+  EXPECT_TRUE(only_rules(fs, {"coro-borrow-across-suspend"}));
+}
+
+TEST(LintProtocol, BorrowUsedBeforeSuspendOrRefreshedPasses) {
+  EXPECT_TRUE(lint_file("coro_borrow_across_suspend_good.cpp").empty());
+}
+
+TEST(LintProtocol, FlagRegionOverlapFlagged) {
+  const auto fs = lint_file("coll_flag_overlap_bad.cpp");
+  EXPECT_EQ(count_rule(fs, "coll-flag-overlap"), 1u);  // deduped per pair
+  EXPECT_TRUE(only_rules(fs, {"coll-flag-overlap"}));
+}
+
+TEST(LintProtocol, DisjointFlagRegionsPass) {
+  EXPECT_TRUE(lint_file("coll_flag_overlap_good.cpp").empty());
+}
+
 TEST(LintCatalogue, RuleIdsAreUnique) {
   const auto ids = tca::lint::rule_ids();
   const std::set<std::string> unique(ids.begin(), ids.end());
   EXPECT_EQ(ids.size(), unique.size());
-  EXPECT_EQ(ids.size(), 16u);
+  EXPECT_EQ(ids.size(), 22u);
+}
+
+// --- CFG builder unit tests -------------------------------------------------
+//
+// These exercise tools/tca_lint/cfg.{h,cpp} directly on small snippets: node
+// and edge counts, loop back edges, early-return exit edges, and co_await
+// suspension-edge placement (the edges the protocol rules treat specially).
+
+using tca::lint::build_cfgs;
+using tca::lint::FunctionCfg;
+using tca::lint::kCfgExit;
+using tca::lint::lex;
+
+std::vector<FunctionCfg> cfgs_of(std::string_view src) {
+  return build_cfgs(lex(src));
+}
+
+std::size_t suspension_edge_count(const FunctionCfg& cfg) {
+  return static_cast<std::size_t>(
+      std::count_if(cfg.edges.begin(), cfg.edges.end(),
+                    [](const tca::lint::CfgEdge& e) { return e.suspension; }));
+}
+
+std::size_t edges_to_exit(const FunctionCfg& cfg) {
+  return static_cast<std::size_t>(
+      std::count_if(cfg.edges.begin(), cfg.edges.end(),
+                    [](const tca::lint::CfgEdge& e) {
+                      return e.to == kCfgExit;
+                    }));
+}
+
+TEST(LintCfg, EarlyReturnProducesTwoExitEdges) {
+  const auto cfgs = cfgs_of("int f(int x) {\n"
+                            "  if (x > 0) {\n"
+                            "    return 1;\n"
+                            "  }\n"
+                            "  return 2;\n"
+                            "}\n");
+  ASSERT_EQ(cfgs.size(), 1u);
+  const FunctionCfg& cfg = cfgs[0];
+  EXPECT_EQ(cfg.name, "f");
+  EXPECT_FALSE(cfg.is_coroutine);
+  // entry, exit, cond, then-return, fallthrough-return + edges between them.
+  EXPECT_EQ(cfg.nodes.size(), 6u);
+  EXPECT_EQ(cfg.edges.size(), 6u);
+  EXPECT_EQ(suspension_edge_count(cfg), 0u);
+  EXPECT_EQ(edges_to_exit(cfg), 2u);
+}
+
+TEST(LintCfg, NestedLoopsHaveBackEdges) {
+  const auto cfgs = cfgs_of("void g(int n) {\n"
+                            "  for (int i = 0; i < n; ++i) {\n"
+                            "    while (n > 0) {\n"
+                            "      --n;\n"
+                            "    }\n"
+                            "  }\n"
+                            "}\n");
+  ASSERT_EQ(cfgs.size(), 1u);
+  const FunctionCfg& cfg = cfgs[0];
+  EXPECT_EQ(cfg.nodes.size(), 7u);
+  EXPECT_EQ(cfg.edges.size(), 8u);
+  // Each loop contributes one back edge: an edge whose target precedes its
+  // source in node order (entry/exit aside, nodes are created in source
+  // order, so backward edges are exactly the loop latches).
+  const auto back_edges = std::count_if(
+      cfg.edges.begin(), cfg.edges.end(), [](const tca::lint::CfgEdge& e) {
+        return e.to > kCfgExit && e.to < e.from;
+      });
+  EXPECT_EQ(back_edges, 2);
+}
+
+TEST(LintCfg, CoAwaitSplitsStatementsWithSuspensionEdges) {
+  const auto cfgs = cfgs_of("sim::Task<int> h(Chan c) {\n"
+                            "  int v = co_await c.recv();\n"
+                            "  co_await c.send(v);\n"
+                            "  co_return v;\n"
+                            "}\n");
+  ASSERT_EQ(cfgs.size(), 1u);
+  const FunctionCfg& cfg = cfgs[0];
+  EXPECT_TRUE(cfg.is_coroutine);
+  EXPECT_EQ(cfg.nodes.size(), 7u);
+  EXPECT_EQ(cfg.edges.size(), 6u);
+  EXPECT_EQ(suspension_edge_count(cfg), 2u);
+  // A suspension edge's source node ends exactly at the co_await keyword:
+  // everything after it only runs post-resume.
+  const auto toks = lex("sim::Task<int> h(Chan c) {\n"
+                        "  int v = co_await c.recv();\n"
+                        "  co_await c.send(v);\n"
+                        "  co_return v;\n"
+                        "}\n").toks;
+  for (const tca::lint::CfgEdge& e : cfg.edges) {
+    if (!e.suspension) continue;
+    const tca::lint::CfgNode& from = cfg.nodes[static_cast<std::size_t>(e.from)];
+    ASSERT_GT(from.end, from.begin);
+    EXPECT_EQ(toks[from.end - 1].text, "co_await");
+  }
+}
+
+TEST(LintCfg, InfiniteLoopHasNoExitEdge) {
+  const auto cfgs = cfgs_of("void loop() {\n"
+                            "  for (;;) {\n"
+                            "    step();\n"
+                            "  }\n"
+                            "}\n");
+  ASSERT_EQ(cfgs.size(), 1u);
+  EXPECT_EQ(edges_to_exit(cfgs[0]), 0u);
+}
+
+TEST(LintCfg, LambdaBodiesGetTheirOwnCfg) {
+  const auto cfgs = cfgs_of("void outer() {\n"
+                            "  auto fn = [](int x) { return x + 1; };\n"
+                            "  fn(1);\n"
+                            "}\n");
+  ASSERT_EQ(cfgs.size(), 2u);
+  const auto lambdas = std::count_if(
+      cfgs.begin(), cfgs.end(),
+      [](const FunctionCfg& c) { return c.is_lambda; });
+  EXPECT_EQ(lambdas, 1);
+  // The enclosing function's statement walk must skip the nested lambda's
+  // token range rather than treating its body as its own statements.
+  for (const FunctionCfg& c : cfgs) {
+    if (c.is_lambda) continue;
+    EXPECT_EQ(c.nested_lambdas.size(), 1u);
+  }
 }
 
 // The actual gate: the repository (src/, tests/, tools/, examples/, bench/

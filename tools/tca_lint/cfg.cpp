@@ -1,0 +1,594 @@
+#include "tca_lint/cfg.h"
+
+#include <algorithm>
+
+namespace tca::lint {
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+bool is_keyword(const std::string& t) {
+  return t == "if" || t == "for" || t == "while" || t == "switch" ||
+         t == "catch" || t == "return" || t == "sizeof" || t == "alignof" ||
+         t == "decltype" || t == "noexcept" || t == "co_await" ||
+         t == "co_return" || t == "co_yield" || t == "new" || t == "delete";
+}
+
+/// Finds the `{` of a lambda whose capture list starts at `intro` (`[`).
+/// Returns kNone when the bracket run is not a lambda after all.
+std::size_t lambda_body_open(const std::vector<Tok>& toks, std::size_t intro) {
+  std::size_t i = match_forward(toks, intro);  // closing `]`
+  if (i >= toks.size()) return kNone;
+  ++i;
+  if (i < toks.size() && toks[i].text == "(") {
+    i = match_forward(toks, i);
+    if (i >= toks.size()) return kNone;
+    ++i;
+  }
+  // Quals and trailing return type up to the body.
+  while (i < toks.size()) {
+    const std::string& t = toks[i].text;
+    if (t == "{") return i;
+    if (t == ";" || t == ")" || t == "," || t == "]" || t == "}") return kNone;
+    if (t == "<") {
+      const std::size_t past = skip_angles(toks, i);
+      i = past == i ? i + 1 : past;
+      continue;
+    }
+    if (t == "(") {  // noexcept(...)
+      i = match_forward(toks, i);
+      if (i >= toks.size()) return kNone;
+      ++i;
+      continue;
+    }
+    ++i;
+  }
+  return kNone;
+}
+
+struct Body {
+  std::string name;  // empty for lambdas
+  bool is_lambda = false;
+  int header_line = 0;
+  std::size_t open = 0;
+  std::size_t close = 0;
+};
+
+/// Walks back from the name token collecting `A::B::~C`-style qualified
+/// names (and the first header-line token of the declaration).
+std::string qualified_name(const std::vector<Tok>& toks, std::size_t name_at,
+                          std::size_t* decl_begin) {
+  std::string name = toks[name_at].text;
+  std::size_t i = name_at;
+  if (i > 0 && toks[i - 1].text == "~") {
+    name = "~" + name;
+    --i;
+  }
+  while (i >= 2 && toks[i - 1].text == "::" &&
+         toks[i - 2].kind == TokKind::kIdent) {
+    name = toks[i - 2].text + "::" + name;
+    i -= 2;
+  }
+  // Header start: walk back to the token after the previous statement or
+  // scope boundary.
+  std::size_t b = i;
+  while (b > 0) {
+    const std::string& t = toks[b - 1].text;
+    if (t == ";" || t == "{" || t == "}" || t == ":" || t == "(") break;
+    --b;
+  }
+  *decl_begin = b;
+  return name;
+}
+
+/// Scans `toks` for function definitions: `name (params) [quals] {`.
+/// Nested discovered bodies are skipped so statements never masquerade as
+/// definitions. Lambdas are collected separately (from anywhere).
+std::vector<Body> discover_bodies(const std::vector<Tok>& toks) {
+  std::vector<Body> out;
+  std::vector<Body> lambdas;
+
+  // Pass 1: named definitions, skipping each body once found.
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (is_lambda_intro(toks, i)) {
+      // Don't let a lambda's params/body produce phantom definitions at this
+      // level; its own content is scanned in pass 2.
+      const std::size_t open = lambda_body_open(toks, i);
+      if (open != kNone) {
+        const std::size_t close = match_forward(toks, open);
+        if (close < toks.size()) {
+          i = close;
+          continue;
+        }
+      }
+    }
+    if (toks[i].kind != TokKind::kIdent || toks[i + 1].text != "(" ||
+        is_keyword(toks[i].text)) {
+      continue;
+    }
+    const std::size_t close_paren = match_forward(toks, i + 1);
+    if (close_paren >= toks.size()) continue;
+    std::size_t j = close_paren + 1;
+    bool plausible = true;
+    while (j < toks.size() && plausible) {
+      const std::string& t = toks[j].text;
+      if (t == "{") break;
+      if (t == "const" || t == "noexcept" || t == "override" ||
+          t == "final" || t == "mutable" || t == "&" || t == "&&") {
+        ++j;
+      } else if (t == "(") {  // noexcept(...)
+        j = match_forward(toks, j) + 1;
+      } else if (t == "->") {
+        // Trailing return type: skip type tokens up to `{` or `;`.
+        ++j;
+        while (j < toks.size() && toks[j].text != "{" &&
+               toks[j].text != ";") {
+          if (toks[j].text == "<") {
+            const std::size_t past = skip_angles(toks, j);
+            j = past == j ? j + 1 : past;
+          } else {
+            ++j;
+          }
+        }
+      } else if (t == ":") {
+        // Constructor init list: ident(...) or ident{...}, comma-separated.
+        // A `{` preceded by an identifier or `>` is a member brace-init;
+        // the body `{` follows `)`, `}`, or the init-list comma structure.
+        ++j;
+        while (j < toks.size()) {
+          const std::string& u = toks[j].text;
+          if (u == "(") {
+            j = match_forward(toks, j) + 1;
+          } else if (u == "{") {
+            if (j > 0 && (toks[j - 1].kind == TokKind::kIdent ||
+                          toks[j - 1].text == ">")) {
+              j = match_forward(toks, j) + 1;
+            } else {
+              break;  // the body
+            }
+          } else if (u == ";" || u == ")") {
+            plausible = false;
+            break;
+          } else {
+            ++j;
+          }
+        }
+        break;  // at `{` (body) or implausible
+      } else {
+        plausible = false;
+      }
+    }
+    if (!plausible || j >= toks.size() || toks[j].text != "{") continue;
+    const std::size_t body_close = match_forward(toks, j);
+    if (body_close >= toks.size()) continue;
+    Body b;
+    std::size_t decl_begin = i;
+    b.name = qualified_name(toks, i, &decl_begin);
+    b.header_line = toks[decl_begin].line;
+    b.open = j;
+    b.close = body_close;
+    out.push_back(b);
+    i = body_close;
+  }
+
+  // Pass 2: lambdas, anywhere (inside named bodies or other lambdas).
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!is_lambda_intro(toks, i)) continue;
+    const std::size_t open = lambda_body_open(toks, i);
+    if (open == kNone) continue;
+    const std::size_t close = match_forward(toks, open);
+    if (close >= toks.size()) continue;
+    Body b;
+    b.is_lambda = true;
+    b.header_line = toks[i].line;
+    b.open = open;
+    b.close = close;
+    lambdas.push_back(b);
+  }
+
+  out.insert(out.end(), lambdas.begin(), lambdas.end());
+  std::sort(out.begin(), out.end(),
+            [](const Body& a, const Body& b) { return a.open < b.open; });
+  return out;
+}
+
+/// Builds one FunctionCfg from a body range via recursive statement parsing.
+class CfgBuilder {
+ public:
+  CfgBuilder(const std::vector<Tok>& toks, FunctionCfg& cfg)
+      : toks_(toks), cfg_(cfg) {}
+
+  void build() {
+    cfg_.nodes.push_back({cfg_.body_open, cfg_.body_open, cfg_.header_line});
+    cfg_.nodes.push_back({cfg_.body_close, cfg_.body_close,
+                          toks_[cfg_.body_close].line});
+    std::vector<std::size_t> outs{kCfgEntry};
+    outs = parse_seq(cfg_.body_open + 1, cfg_.body_close, std::move(outs));
+    connect(outs, kCfgExit);
+  }
+
+ private:
+  struct Loop {
+    std::size_t continue_target = kNone;
+    std::vector<std::size_t> breaks;
+  };
+
+  std::size_t make_node(std::size_t begin, std::size_t end) {
+    cfg_.nodes.push_back({begin, end, toks_[begin].line});
+    return cfg_.nodes.size() - 1;
+  }
+
+  void edge(std::size_t from, std::size_t to, bool susp = false) {
+    if (from == kNone || to == kNone) return;
+    cfg_.edges.push_back({from, to, susp});
+  }
+
+  void connect(const std::vector<std::size_t>& froms, std::size_t to) {
+    for (std::size_t f : froms) edge(f, to);
+  }
+
+  /// Advances past a nested lambda body if `i` sits on its intro; returns
+  /// the index to continue scanning from (unchanged when not a lambda).
+  std::size_t skip_lambda_at(std::size_t i) const {
+    if (!is_lambda_intro(toks_, i)) return i;
+    const std::size_t open = lambda_body_open(toks_, i);
+    if (open == kNone) return i;
+    const std::size_t close = match_forward(toks_, open);
+    return close >= toks_.size() ? i : close;
+  }
+
+  /// Emits the node chain for one statement's token range, splitting at
+  /// co_await suspension points (lambda bodies inside the range are opaque).
+  /// Returns {entry, out}.
+  std::pair<std::size_t, std::size_t> emit_chain(std::size_t a,
+                                                 std::size_t b) {
+    std::vector<std::size_t> cuts;
+    for (std::size_t i = a; i < b; ++i) {
+      const std::size_t past = skip_lambda_at(i);
+      if (past != i) {
+        i = past;
+        continue;
+      }
+      if (toks_[i].text == "co_await") cuts.push_back(i);
+    }
+    std::size_t begin = a;
+    std::size_t entry = kNone;
+    std::size_t prev = kNone;
+    for (std::size_t cut : cuts) {
+      const std::size_t n = make_node(begin, cut + 1);
+      if (entry == kNone) entry = n;
+      if (prev != kNone) edge(prev, n, /*susp=*/true);
+      prev = n;
+      begin = cut + 1;
+    }
+    if (begin < b || entry == kNone) {
+      // Final part (or whole statement when no co_await). A statement that
+      // *ends* in co_await (`co_await x;`) still gets a resumed part so the
+      // suspension is an edge, not a node-internal fact.
+      const std::size_t n = make_node(begin == b ? b - 1 : begin, b);
+      if (begin == b) cfg_.nodes.back().begin = b;  // empty resumed part
+      if (entry == kNone) entry = n;
+      if (prev != kNone) edge(prev, n, /*susp=*/true);
+      prev = n;
+    }
+    return {entry, prev};
+  }
+
+  /// Parses statements in [i, end); wires `outs` into the first statement.
+  /// Returns the dangling outs after the last statement.
+  std::vector<std::size_t> parse_seq(std::size_t i, std::size_t end,
+                                     std::vector<std::size_t> outs) {
+    while (i < end) {
+      if (toks_[i].text == ";") {  // empty statement
+        ++i;
+        continue;
+      }
+      auto [entry, st_outs, next] = parse_stmt(i, end);
+      if (entry != kNone) {
+        connect(outs, entry);
+        outs = std::move(st_outs);
+      }
+      i = next;
+    }
+    return outs;
+  }
+
+  struct Parsed {
+    std::size_t entry = kNone;
+    std::vector<std::size_t> outs;
+    std::size_t next = 0;
+  };
+
+  /// One statement starting at `i`.
+  Parsed parse_stmt(std::size_t i, std::size_t end) {
+    const std::string& t = toks_[i].text;
+
+    if (t == "{") {
+      const std::size_t close = match_forward(toks_, i);
+      // A nested block: parse contents; synthesize a pass-through entry so
+      // the caller has a single wiring point.
+      const std::size_t entry = make_node(i, i + 1);
+      auto outs = parse_seq(i + 1, std::min(close, end), {entry});
+      return {entry, std::move(outs), std::min(close, end) + 1};
+    }
+
+    if (t == "if") {
+      std::size_t close = i + 1 < end && toks_[i + 1].text == "constexpr"
+                              ? match_forward(toks_, i + 2)
+                              : match_forward(toks_, i + 1);
+      auto [centry, cout] = emit_chain(i, std::min(close + 1, end));
+      Parsed then = parse_stmt(close + 1, end);
+      connect({cout}, then.entry);
+      std::vector<std::size_t> outs = then.outs;
+      std::size_t next = then.next;
+      if (next < end && toks_[next].text == "else") {
+        Parsed els = parse_stmt(next + 1, end);
+        connect({cout}, els.entry);
+        outs.insert(outs.end(), els.outs.begin(), els.outs.end());
+        next = els.next;
+      } else {
+        outs.push_back(cout);  // false branch falls through
+      }
+      return {centry, std::move(outs), next};
+    }
+
+    if (t == "while" || t == "for") {
+      const std::size_t close = match_forward(toks_, i + 1);
+      const bool infinite = loop_is_infinite(i, close);
+      auto [centry, cout] = emit_chain(i, std::min(close + 1, end));
+      loops_.push_back({centry, {}});
+      Parsed body = parse_stmt(close + 1, end);
+      connect({cout}, body.entry);
+      connect(body.outs, centry);  // back edges
+      Loop loop = std::move(loops_.back());
+      loops_.pop_back();
+      std::vector<std::size_t> outs = std::move(loop.breaks);
+      if (!infinite) outs.push_back(cout);
+      return {centry, std::move(outs), body.next};
+    }
+
+    if (t == "do") {
+      // Condition node created up front so `continue` has a target; its
+      // token range is patched once the `while (...)` is located.
+      const std::size_t cnode = make_node(i, i + 1);
+      loops_.push_back({cnode, {}});
+      Parsed body = parse_stmt(i + 1, end);
+      Loop loop = std::move(loops_.back());
+      loops_.pop_back();
+      std::size_t next = body.next;
+      bool infinite = false;
+      if (next < end && toks_[next].text == "while") {
+        const std::size_t close = match_forward(toks_, next + 1);
+        infinite = loop_is_infinite(next, close);
+        cfg_.nodes[cnode].begin = next;
+        cfg_.nodes[cnode].end = std::min(close + 1, end);
+        cfg_.nodes[cnode].line = toks_[next].line;
+        next = std::min(close + 1, end);
+        if (next < end && toks_[next].text == ";") ++next;
+      }
+      connect(body.outs, cnode);
+      if (body.entry != kNone) edge(cnode, body.entry);  // back edge
+      std::vector<std::size_t> outs = std::move(loop.breaks);
+      if (!infinite) outs.push_back(cnode);
+      const std::size_t entry = body.entry == kNone ? cnode : body.entry;
+      return {entry, std::move(outs), next};
+    }
+
+    if (t == "switch") {
+      const std::size_t close = match_forward(toks_, i + 1);
+      auto [hentry, hout] = emit_chain(i, std::min(close + 1, end));
+      std::size_t j = close + 1;
+      std::vector<std::size_t> outs;
+      if (j < end && toks_[j].text == "{") {
+        const std::size_t body_close = std::min(match_forward(toks_, j), end);
+        loops_.push_back({kNone, {}});  // break target (continue passes through)
+        std::vector<std::size_t> fall;  // fallthrough from previous group
+        bool has_default = false;
+        bool pending = false;  // label(s) seen, dispatch edge not yet wired
+        std::size_t k = j + 1;
+        while (k < body_close) {
+          if (toks_[k].text == "case") {
+            while (k < body_close && toks_[k].text != ":") ++k;
+            ++k;
+            pending = true;
+            continue;
+          }
+          if (toks_[k].text == "default") {
+            has_default = true;
+            while (k < body_close && toks_[k].text != ":") ++k;
+            ++k;
+            pending = true;
+            continue;
+          }
+          if (toks_[k].text == ";") {
+            ++k;
+            continue;
+          }
+          Parsed st = parse_stmt(k, body_close);
+          if (st.entry != kNone) {
+            if (pending) edge(hout, st.entry);
+            pending = false;
+            connect(fall, st.entry);
+            fall = std::move(st.outs);
+          }
+          k = st.next;
+        }
+        Loop sw = std::move(loops_.back());
+        loops_.pop_back();
+        outs = std::move(sw.breaks);
+        outs.insert(outs.end(), fall.begin(), fall.end());
+        if (!has_default) outs.push_back(hout);
+        j = body_close + 1;
+      } else {
+        outs.push_back(hout);
+      }
+      return {hentry, std::move(outs), j};
+    }
+
+    if (t == "return" || t == "co_return") {
+      const std::size_t semi = stmt_end(i, end);
+      auto [entry, out] = emit_chain(i, semi);
+      edge(out, kCfgExit);
+      return {entry, {}, semi + 1};
+    }
+
+    if (t == "break" && !loops_.empty()) {
+      const std::size_t n = make_node(i, std::min(i + 1, end));
+      // Innermost breakable: a switch pushes a frame too.
+      loops_.back().breaks.push_back(n);
+      return {n, {}, stmt_end(i, end) + 1};
+    }
+
+    if (t == "continue" && !loops_.empty()) {
+      const std::size_t n = make_node(i, std::min(i + 1, end));
+      // `continue` skips switch frames (whose continue_target is kNone).
+      for (auto it = loops_.rbegin(); it != loops_.rend(); ++it) {
+        if (it->continue_target != kNone) {
+          edge(n, it->continue_target);
+          break;
+        }
+      }
+      return {n, {}, stmt_end(i, end) + 1};
+    }
+
+    if (t == "try") {
+      Parsed blk = parse_stmt(i + 1, end);
+      std::vector<std::size_t> outs = blk.outs;
+      std::size_t next = blk.next;
+      while (next < end && toks_[next].text == "catch") {
+        const std::size_t close = match_forward(toks_, next + 1);
+        Parsed h = parse_stmt(close + 1, end);
+        // Coarse: the handler is an alternative outcome of the block.
+        if (blk.entry != kNone && h.entry != kNone) edge(blk.entry, h.entry);
+        outs.insert(outs.end(), h.outs.begin(), h.outs.end());
+        next = h.next;
+      }
+      return {blk.entry, std::move(outs), next};
+    }
+
+    // Plain statement (declaration, expression, ...): up to the `;` at this
+    // nesting level, with balanced groups and lambda bodies skipped.
+    const std::size_t semi = stmt_end(i, end);
+    auto [entry, out] = emit_chain(i, semi);
+    return {entry, {out}, semi + 1};
+  }
+
+  /// Index of the terminating `;` of a plain statement (or `end`).
+  std::size_t stmt_end(std::size_t i, std::size_t end) const {
+    while (i < end) {
+      const std::size_t past = skip_lambda_at(i);
+      if (past != i) {
+        i = past + 1;
+        continue;
+      }
+      const std::string& t = toks_[i].text;
+      if (t == ";") return i;
+      if (t == "(" || t == "[" || t == "{") {
+        const std::size_t close = match_forward(toks_, i);
+        i = close >= toks_.size() ? i + 1 : close + 1;
+        continue;
+      }
+      ++i;
+    }
+    return end;
+  }
+
+  bool loop_is_infinite(std::size_t kw, std::size_t close_paren) const {
+    // `for (;;)` / `while (true)` / `while (1)`.
+    const std::size_t open = kw + 1;
+    if (open >= toks_.size() || toks_[open].text != "(") return false;
+    if (toks_[kw].text == "for") {
+      // Condition section empty: `;` immediately followed by `;`.
+      int semis = 0;
+      for (std::size_t i = open + 1; i < close_paren; ++i) {
+        if (toks_[i].text == "(" || toks_[i].text == "[" ||
+            toks_[i].text == "{") {
+          i = match_forward(toks_, i);
+          continue;
+        }
+        if (toks_[i].text == ";") {
+          ++semis;
+          if (semis == 1) {
+            // Peek the condition section for any token.
+            for (std::size_t j = i + 1; j < close_paren; ++j) {
+              if (toks_[j].text == ";") return j == i + 1;
+            }
+          }
+        }
+      }
+      return false;
+    }
+    return close_paren == open + 2 &&
+           (toks_[open + 1].text == "true" || toks_[open + 1].text == "1");
+  }
+
+  const std::vector<Tok>& toks_;
+  FunctionCfg& cfg_;
+  std::vector<Loop> loops_;
+};
+
+}  // namespace
+
+bool is_lambda_intro(const std::vector<Tok>& toks, std::size_t i) {
+  if (i >= toks.size() || toks[i].text != "[") return false;
+  if (i + 1 < toks.size() && toks[i + 1].text == "[") return false;  // [[attr]]
+  if (i == 0) return true;
+  const Tok& p = toks[i - 1];
+  // A `[` after a value expression is a subscript; after `]` it closes
+  // `a[i][j]`; after `)` it subscripts a call result.
+  if (p.kind == TokKind::kIdent && !is_keyword(p.text)) return false;
+  return p.text != ")" && p.text != "]" && p.kind != TokKind::kNumber &&
+         p.kind != TokKind::kString;
+}
+
+std::vector<FunctionCfg> build_cfgs(const LexedFile& f) {
+  const auto& toks = f.toks;
+  std::vector<FunctionCfg> out;
+  const std::vector<Body> bodies = discover_bodies(toks);
+  for (const Body& b : bodies) {
+    FunctionCfg cfg;
+    cfg.name = b.name;
+    cfg.is_lambda = b.is_lambda;
+    cfg.header_line = b.header_line;
+    cfg.body_line = toks[b.open].line;
+    cfg.body_open = b.open;
+    cfg.body_close = b.close;
+    for (const Body& inner : bodies) {
+      if (inner.open > b.open && inner.close < b.close) {
+        cfg.nested_lambdas.emplace_back(inner.open, inner.close);
+      }
+    }
+    CfgBuilder builder(toks, cfg);
+    builder.build();
+    // Coroutine: co_* tokens at this body's own level.
+    for (std::size_t i = b.open + 1; i < b.close; ++i) {
+      bool nested = false;
+      for (const auto& [open, close] : cfg.nested_lambdas) {
+        if (i >= open && i <= close) {
+          i = close;
+          nested = true;
+          break;
+        }
+      }
+      if (nested) continue;
+      const std::string& t = toks[i].text;
+      if (t == "co_await" || t == "co_return" || t == "co_yield") {
+        cfg.is_coroutine = true;
+        break;
+      }
+    }
+    out.push_back(std::move(cfg));
+  }
+  return out;
+}
+
+std::vector<std::vector<std::size_t>> cfg_successors(const FunctionCfg& cfg) {
+  std::vector<std::vector<std::size_t>> succ(cfg.nodes.size());
+  for (std::size_t e = 0; e < cfg.edges.size(); ++e) {
+    succ[cfg.edges[e].from].push_back(e);
+  }
+  return succ;
+}
+
+}  // namespace tca::lint

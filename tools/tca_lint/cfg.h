@@ -1,0 +1,84 @@
+// Intraprocedural control-flow graphs over the tca_lint token stream.
+//
+// Not a compiler CFG: nodes are statements (split at `co_await` so a
+// suspension point is a first-class edge), discovered by a recursive
+// statement parser that understands if/else, for/while/do loops, switch,
+// break/continue, return/co_return, and nested blocks. Function bodies are
+// found by token-shape (`name (params) [quals] {`), which covers every
+// definition style used in this codebase — free functions, out-of-line
+// methods, class-inline methods, constructors with init lists — plus
+// lambdas, whose bodies become their own graphs and are opaque single
+// tokens-runs to the enclosing function.
+//
+// Guarantees the protocol rules (rules_protocol.cpp) build on:
+//  * nodes[0] is the synthetic entry, nodes[1] the synthetic exit; every
+//    return/co_return edge targets the exit.
+//  * an edge with `suspension == true` crosses exactly one `co_await`; the
+//    awaiting part of the statement ends the source node, the resumed part
+//    starts the destination node.
+//  * `for (;;)`, `while (true)` and `while (1)` get no loop-exit edge, so
+//    a resource held across iterations of a service loop is not reported as
+//    leaking through an unreachable exit.
+//  * statements inside a nested lambda body belong only to the lambda's own
+//    graph; the enclosing function's nodes skip those token ranges (listed
+//    in `nested_lambdas` so event scanners can skip them too).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tca_lint/lexer.h"
+
+namespace tca::lint {
+
+/// Half-open token range [begin, end) of one statement part.
+struct CfgNode {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  int line = 0;  ///< line of the first token (entry/exit: header line)
+};
+
+struct CfgEdge {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  bool suspension = false;  ///< crosses a co_await
+};
+
+inline constexpr std::size_t kCfgEntry = 0;
+inline constexpr std::size_t kCfgExit = 1;
+
+struct FunctionCfg {
+  /// Name as written at the definition (`Peach2Chip::on_write_commit`,
+  /// `acquire_tag`); empty for lambdas.
+  std::string name;
+  bool is_lambda = false;
+  /// Body contains co_await/co_return/co_yield at its own nesting level.
+  bool is_coroutine = false;
+  /// First line of the declaration header (return type), or the lambda
+  /// intro line. Function-level annotations may sit on header_line - 1
+  /// through body_line.
+  int header_line = 0;
+  int body_line = 0;  ///< line of the body's `{`
+  std::size_t body_open = 0;   ///< token index of `{`
+  std::size_t body_close = 0;  ///< token index of matching `}`
+  std::vector<CfgNode> nodes;  ///< [0]=entry, [1]=exit, then statements
+  std::vector<CfgEdge> edges;
+  /// `{`..`}` token index ranges (inclusive) of every lambda body nested
+  /// anywhere inside this function's body.
+  std::vector<std::pair<std::size_t, std::size_t>> nested_lambdas;
+};
+
+/// Discovers every function definition and lambda in the file and builds
+/// one CFG per body. Deterministic order: by body_open token index.
+std::vector<FunctionCfg> build_cfgs(const LexedFile& f);
+
+/// Successor adjacency (edge indices into cfg.edges) per node.
+std::vector<std::vector<std::size_t>> cfg_successors(const FunctionCfg& cfg);
+
+/// True when toks[i] starts a lambda capture list (as opposed to a
+/// subscript or an attribute).
+bool is_lambda_intro(const std::vector<Tok>& toks, std::size_t i);
+
+}  // namespace tca::lint

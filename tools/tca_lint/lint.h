@@ -1,6 +1,6 @@
 // tca_lint — project-invariant static analysis for the TCA simulator.
 //
-// Three rule families over a light token stream (see lexer.h):
+// Four rule families over a light token stream (see lexer.h):
 //
 //  coroutine lifetime
 //    coro-temporary-closure  capturing lambda coroutine invoked as a
@@ -49,12 +49,39 @@
 //    reg-map-parse           registers.h no longer parses (missing base
 //                            constants, unevaluable annotated offset).
 //
+//  protocol lifecycle (flow-sensitive, over the CFGs of cfg.h; driven by
+//  `// tca-protocol:` / `// tca-flags:` annotations — grammar in
+//  rules_protocol.cpp and docs/ARCHITECTURE.md)
+//    proto-leak              an acquired tag/credit/slot reaches the
+//                            function exit without a release, abandon, or
+//                            transfer on some (or every) path.
+//    proto-double-release    a release reachable on a path where nothing is
+//                            held.
+//    proto-ack-before-commit PEARL ack emission (an `acks-on-commit`
+//                            function) reachable before the commit edge of
+//                            a `commit-point` function, or outside any
+//                            acks-on-commit context at all — the PR 8
+//                            ack-outruns-data-commit chaos bug, at lint
+//                            time.
+//    coro-borrow-across-suspend  a value borrowed from a `borrows(k)`
+//                            function (arena frames, ...) used on a path
+//                            that crossed a co_await suspension edge.
+//    coll-flag-overlap       `tca-flags:` region declarations (the per-
+//                            collective doorbell flag-word partitions) that
+//                            overlap or exceed the declared total for some
+//                            parameter assignment.
+//    proto-bad-annotation    a tca-protocol/tca-flags annotation that does
+//                            not parse or attaches to nothing — deleting
+//                            annotated code without its annotation is
+//                            itself a gate failure.
+//
 // Suppression: `// tca-lint: allow(rule-id): <justification>` on the same
 // line as the finding or the line directly above. The justification is
 // mandatory; a malformed or bare allow is itself a finding
 // (lint-bad-suppression).
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -79,6 +106,9 @@ struct Options {
   std::vector<std::string> files;
   /// Explicit register-map header to analyze (fixtures/tests).
   std::string registers_path;
+  /// When non-empty, per-file lex/finding results are cached here keyed by
+  /// content hash, so repeated repo-wide runs skip unchanged files.
+  std::string cache_dir;
 };
 
 /// Runs the configured lint; findings are sorted by (file, line, rule).
@@ -90,10 +120,25 @@ std::vector<std::string> rule_ids();
 
 namespace rules {
 
+/// Call-site effects of a protocol-annotated function, registered by the
+/// last `::` component of its name. `owns` and `commit-point` are NOT here:
+/// they attach locally at the definition so that same-named methods on
+/// different classes (RootComplex::on_tlp vs Peach2Chip::on_tlp) do not
+/// inherit each other's obligations.
+struct ProtoEffects {
+  std::vector<std::string> acquires;  ///< calling yields one of each kind
+  std::vector<std::string> releases;  ///< calling discharges one of each
+  std::vector<std::string> abandons;  ///< discharges without completing
+  std::vector<std::string> borrows;   ///< result borrows from this pool
+  bool acks_on_commit = false;        ///< this call IS the PEARL ack
+};
+
 /// Symbol context shared across files within one run.
 struct Context {
   /// Names declared anywhere in the run as unordered containers.
   std::vector<std::string> unordered_names;
+  /// Protocol registry: last name component -> annotated call effects.
+  std::map<std::string, ProtoEffects> protocol;
 };
 
 /// Which path-scoped exemptions/scopes apply to a file.
@@ -102,9 +147,11 @@ struct FileScope {
   bool allow_raw_rand = false;     // common/rng wraps the generator
   bool check_magic_mmio = true;    // driver/, peach2/, tests/ + fixtures
   bool check_shard_state = true;   // src/sim (shard-execution) + fixtures
+  bool check_protocol = true;      // src/ (annotated subsystems) + fixtures
 };
 
 void collect_unordered_names(const LexedFile& f, Context& ctx);
+void collect_protocol_annotations(const LexedFile& f, Context& ctx);
 
 void check_coroutines(const std::string& path, const LexedFile& f,
                       std::vector<Finding>& out);
@@ -115,6 +162,8 @@ void check_magic_mmio(const std::string& path, const LexedFile& f,
                       std::vector<Finding>& out);
 void check_register_map(const std::string& path, const LexedFile& f,
                         std::vector<Finding>& out);
+void check_protocol(const std::string& path, const LexedFile& f,
+                    const Context& ctx, std::vector<Finding>& out);
 
 }  // namespace rules
 

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "tca_lint/eval.h"
 #include "tca_lint/lint.h"
 
 namespace tca::lint::rules {
@@ -29,124 +30,6 @@ namespace tca::lint::rules {
 namespace {
 
 using u64 = std::uint64_t;
-
-bool parse_number(const std::string& text, u64* out) {
-  std::string digits;
-  for (char c : text) {
-    if (c == '\'') continue;
-    digits += c;
-  }
-  // Strip integer suffixes.
-  while (!digits.empty()) {
-    const char c = digits.back();
-    if (c == 'u' || c == 'U' || c == 'l' || c == 'L') {
-      digits.pop_back();
-    } else {
-      break;
-    }
-  }
-  if (digits.empty()) return false;
-  errno = 0;
-  char* end = nullptr;
-  const u64 v = std::strtoull(digits.c_str(), &end, 0);
-  if (end == nullptr || *end != '\0') return false;
-  *out = v;
-  return true;
-}
-
-/// Minimal constant-expression evaluator: numbers, known identifiers,
-/// parentheses, * + - << >> | &. Covers every right-hand side in
-/// registers.h; anything else reports failure (callers ignore unannotated
-/// constants that fail).
-struct Eval {
-  const std::vector<Tok>& toks;
-  std::size_t pos;
-  std::size_t end;
-  const std::map<std::string, u64>& env;
-  bool ok = true;
-
-  u64 primary() {
-    if (pos >= end) {
-      ok = false;
-      return 0;
-    }
-    const Tok& t = toks[pos];
-    if (t.kind == TokKind::kNumber) {
-      u64 v = 0;
-      ok = ok && parse_number(t.text, &v);
-      ++pos;
-      return v;
-    }
-    if (t.kind == TokKind::kIdent) {
-      // Swallow `std::uint64_t(...)`-style qualifiers conservatively: only
-      // plain known identifiers evaluate.
-      auto it = env.find(t.text);
-      if (it == env.end()) {
-        ok = false;
-        return 0;
-      }
-      ++pos;
-      return it->second;
-    }
-    if (t.text == "(") {
-      ++pos;
-      const u64 v = or_expr();
-      if (pos < end && toks[pos].text == ")") {
-        ++pos;
-      } else {
-        ok = false;
-      }
-      return v;
-    }
-    ok = false;
-    return 0;
-  }
-
-  u64 mul_expr() {
-    u64 v = primary();
-    while (ok && pos < end && toks[pos].text == "*") {
-      ++pos;
-      v *= primary();
-    }
-    return v;
-  }
-
-  u64 add_expr() {
-    u64 v = mul_expr();
-    while (ok && pos < end &&
-           (toks[pos].text == "+" || toks[pos].text == "-")) {
-      const bool add = toks[pos].text == "+";
-      ++pos;
-      const u64 rhs = mul_expr();
-      v = add ? v + rhs : v - rhs;
-    }
-    return v;
-  }
-
-  u64 shift_expr() {
-    u64 v = add_expr();
-    while (ok && pos < end &&
-           (toks[pos].text == "<<" || toks[pos].text == ">>")) {
-      const bool left = toks[pos].text == "<<";
-      ++pos;
-      const u64 rhs = add_expr();
-      v = left ? (v << rhs) : (v >> rhs);
-    }
-    return v;
-  }
-
-  u64 or_expr() {
-    u64 v = shift_expr();
-    while (ok && pos < end &&
-           (toks[pos].text == "|" || toks[pos].text == "&")) {
-      const bool is_or = toks[pos].text == "|";
-      ++pos;
-      const u64 rhs = shift_expr();
-      v = is_or ? (v | rhs) : (v & rhs);
-    }
-    return v;
-  }
-};
 
 enum class RegClass { kPlain, kGlobal, kDmaField, kRouteField, kAlias };
 
